@@ -1,0 +1,64 @@
+// Command wimcbench regenerates every figure of the paper's evaluation
+// plus the DESIGN.md ablations, printing text tables and optionally writing
+// CSV files.
+//
+// Usage:
+//
+//	wimcbench [-fig all|fig2|fig3|fig4|fig5|fig6|mac|channel|routing|sleep|density]
+//	          [-quick] [-seed N] [-csv DIR]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"wimc/internal/figures"
+)
+
+func main() {
+	var (
+		fig   = flag.String("fig", "all", "experiment to run (all, fig2..fig6, mac, channel, routing, sleep, density)")
+		quick = flag.Bool("quick", false, "shortened simulation windows")
+		seed  = flag.Uint64("seed", 0, "override RNG seed (0 = default)")
+		csv   = flag.String("csv", "", "directory to write CSV files into")
+	)
+	flag.Parse()
+
+	ids := figures.Experiments()
+	if *fig != "all" {
+		ids = []string{*fig}
+	}
+	opts := figures.Opts{Quick: *quick, Seed: *seed}
+	for _, id := range ids {
+		t, err := figures.Run(id, opts)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wimcbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Println(t.Text())
+		if *csv != "" {
+			if err := writeCSV(*csv, t); err != nil {
+				fmt.Fprintf(os.Stderr, "wimcbench: %s: %v\n", id, err)
+				os.Exit(1)
+			}
+		}
+	}
+}
+
+func writeCSV(dir string, t *figures.Table) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	path := filepath.Join(dir, t.ID+".csv")
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := t.WriteCSV(f); err != nil {
+		return err
+	}
+	return f.Close()
+}

@@ -1,0 +1,142 @@
+// Command wimcsim runs a single multichip simulation and prints the
+// results.
+//
+// Usage:
+//
+//	wimcsim [-chips 4] [-arch wireless|interposer|substrate|hybrid]
+//	        [-traffic uniform|hotspot|transpose|bit-complement|app]
+//	        [-rate 0.002] [-mem 0.2] [-app canneal]
+//	        [-cycles 10000] [-seed 1] [-config file.json] [-json]
+//	        [-trace packets.jsonl]
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"wimc"
+)
+
+func main() {
+	var (
+		chips   = flag.Int("chips", 4, "processing chips (1, 4 or 8)")
+		arch    = flag.String("arch", "wireless", "architecture: substrate, interposer, wireless")
+		traffic = flag.String("traffic", "uniform", "traffic kind: uniform, hotspot, transpose, bit-complement, app")
+		rate    = flag.Float64("rate", 0.002, "injection rate (packets/core/cycle); 1.0 = saturation")
+		mem     = flag.Float64("mem", 0.2, "memory-access fraction")
+		hotspot = flag.Float64("hotspot", 0.2, "hotspot traffic fraction (hotspot kind)")
+		app     = flag.String("app", "canneal", "application name (app kind)")
+		cycles  = flag.Int64("cycles", 0, "override measurement cycles (0 = config default)")
+		seed    = flag.Uint64("seed", 0, "override RNG seed (0 = config default)")
+		cfgFile = flag.String("config", "", "JSON configuration file (overrides -chips/-arch)")
+		asJSON  = flag.Bool("json", false, "emit the full result as JSON")
+		traceTo = flag.String("trace", "", "write a packet-level JSONL delivery trace to this file")
+	)
+	flag.Parse()
+
+	cfg, err := buildConfig(*cfgFile, *chips, *arch)
+	if err != nil {
+		fatal(err)
+	}
+	if *cycles > 0 {
+		cfg.MeasureCycles = *cycles
+	}
+	if *seed != 0 {
+		cfg.Seed = *seed
+	}
+
+	spec := wimc.TrafficSpec{
+		Kind:            wimc.TrafficKind(*traffic),
+		Rate:            *rate,
+		MemFraction:     *mem,
+		HotspotFraction: *hotspot,
+		App:             *app,
+	}
+	var res *wimc.Result
+	if *traceTo != "" {
+		f, err := os.Create(*traceTo)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		sys, err := wimc.NewTraced(cfg, spec, f)
+		if err != nil {
+			fatal(err)
+		}
+		if res, err = sys.Run(); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+	} else {
+		var err error
+		if res, err = wimc.Run(cfg, spec); err != nil {
+			fatal(err)
+		}
+	}
+
+	if *asJSON {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(res); err != nil {
+			fatal(err)
+		}
+		return
+	}
+	printResult(res)
+}
+
+func buildConfig(path string, chips int, arch string) (wimc.Config, error) {
+	if path != "" {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return wimc.Config{}, err
+		}
+		return wimc.ParseConfig(data)
+	}
+	return wimc.XCYM(chips, 4, wimc.Architecture(arch))
+}
+
+func printResult(r *wimc.Result) {
+	fmt.Printf("%s: %d cores, %d cycles\n", r.Name, r.Cores, r.Cycles)
+	fmt.Printf("  packets: generated=%d refused=%d injected=%d delivered=%d measured=%d\n",
+		r.GeneratedPackets, r.RefusedPackets, r.InjectedPackets, r.DeliveredPackets, r.MeasuredPackets)
+	fmt.Printf("  latency: avg=%.1f cycles (net %.1f + queue %.1f)  p99=%d  max=%d  hops=%.2f\n",
+		r.AvgLatency, r.AvgNetLatency, r.AvgQueueLatency, r.P99Latency, r.MaxLatency, r.AvgHops)
+	fmt.Printf("  throughput: %.3f Gbps/core (%.4f flits/core/cycle accepted)\n",
+		r.BandwidthPerCoreGbps, r.AcceptedFlitsPerCore)
+	fmt.Printf("  energy: %.1f nJ/packet (dynamic %.2f uJ, static %.2f uJ)\n",
+		r.AvgPacketEnergyNJ, r.DynamicPJ/1e6, r.StaticPJ/1e6)
+	keys := make([]string, 0, len(r.EnergyBreakdown))
+	for k := range r.EnergyBreakdown {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Printf("    %-16s %.2f uJ\n", k, r.EnergyBreakdown[k]/1e6)
+	}
+	if len(r.LinkUtilization) > 0 {
+		fmt.Println("  link utilization:")
+		ukeys := make([]string, 0, len(r.LinkUtilization))
+		for k := range r.LinkUtilization {
+			ukeys = append(ukeys, k)
+		}
+		sort.Strings(ukeys)
+		for _, k := range ukeys {
+			fmt.Printf("    %-16s %5.1f%%\n", k, 100*r.LinkUtilization[k])
+		}
+	}
+	if r.ControlPackets > 0 || r.TokenPasses > 0 || r.WIMaxTxDepth > 0 {
+		fmt.Printf("  wireless: control=%d token-passes=%d retransmits=%d maxTX=%d awake=%.2f\n",
+			r.ControlPackets, r.TokenPasses, r.Retransmits, r.WIMaxTxDepth, r.WIAwakeFraction)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "wimcsim:", err)
+	os.Exit(1)
+}

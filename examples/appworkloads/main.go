@@ -1,0 +1,49 @@
+// Application-specific traffic (Fig. 6 methodology): run SynFull-substitute
+// models of PARSEC and SPLASH-2 applications on the wireless and interposer
+// 4C4M systems and report per-application gains.
+//
+//	go run ./examples/appworkloads [app ...]
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"wimc"
+)
+
+func main() {
+	apps := os.Args[1:]
+	if len(apps) == 0 {
+		apps = []string{"canneal", "fft", "blackscholes", "radix"}
+	}
+
+	fmt.Printf("%-14s %-10s %-12s %-12s %-10s %-10s\n",
+		"application", "arch", "latency", "energy(nJ)", "bw/core", "gain")
+	for _, app := range apps {
+		traffic := wimc.TrafficSpec{Kind: wimc.TrafficApp, App: app}
+
+		results := map[wimc.Architecture]*wimc.Result{}
+		for _, arch := range []wimc.Architecture{wimc.ArchInterposer, wimc.ArchWireless} {
+			cfg := wimc.MustXCYM(4, 4, arch)
+			// Application phases dwell for thousands of cycles; observe
+			// several phase alternations.
+			cfg.WarmupCycles = 2000
+			cfg.MeasureCycles = 20000
+			r, err := wimc.Run(cfg, traffic)
+			if err != nil {
+				log.Fatalf("%s on %s: %v", app, arch, err)
+			}
+			results[arch] = r
+		}
+		ri := results[wimc.ArchInterposer]
+		rw := results[wimc.ArchWireless]
+		g := wimc.GainOver(rw, ri)
+		fmt.Printf("%-14s %-10s %-12.1f %-12.1f %-10.3f\n",
+			app, "interposer", ri.AvgLatency, ri.AvgPacketEnergyNJ, ri.BandwidthPerCoreGbps)
+		fmt.Printf("%-14s %-10s %-12.1f %-12.1f %-10.3f lat %+.0f%%, energy %+.0f%%\n",
+			"", "wireless", rw.AvgLatency, rw.AvgPacketEnergyNJ, rw.BandwidthPerCoreGbps,
+			g.LatencyPct, g.PacketEnergyPct)
+	}
+}

@@ -1,0 +1,37 @@
+// Quickstart: simulate the paper's 4C4M wireless multichip system under
+// uniform random traffic and print the headline metrics.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wimc"
+)
+
+func main() {
+	// Four 16-core chips and four in-package DRAM stacks, interconnected by
+	// the paper's 60 GHz wireless fabric.
+	cfg := wimc.MustXCYM(4, 4, wimc.ArchWireless)
+
+	// Uniform random traffic: every core injects 0.001 packets per cycle;
+	// 20 % of packets are memory accesses (the paper's baseline workload).
+	res, err := wimc.Run(cfg, wimc.TrafficSpec{
+		Kind:        wimc.TrafficUniform,
+		Rate:        0.001,
+		MemFraction: 0.2,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s — %d cores over %d cycles\n", res.Name, res.Cores, res.Cycles)
+	fmt.Printf("  delivered packets:   %d\n", res.DeliveredPackets)
+	fmt.Printf("  avg packet latency:  %.1f cycles (p99 %d)\n", res.AvgLatency, res.P99Latency)
+	fmt.Printf("  avg hops:            %.2f\n", res.AvgHops)
+	fmt.Printf("  bandwidth:           %.3f Gbps/core\n", res.BandwidthPerCoreGbps)
+	fmt.Printf("  avg packet energy:   %.1f nJ\n", res.AvgPacketEnergyNJ)
+	fmt.Printf("  WI awake fraction:   %.2f (sleepy transceivers)\n", res.WIAwakeFraction)
+}

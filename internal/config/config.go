@@ -1,0 +1,400 @@
+// Package config defines the complete, serializable configuration of a wimc
+// simulation: package geometry (chips, cores, memory stacks), router
+// microarchitecture, physical-layer constants for every link technology,
+// the wireless channel/MAC variants, routing mode, and run control.
+//
+// Default values follow the experimental setup of Shamim et al., SOCC 2017
+// (see DESIGN.md §6 for parameter provenance).
+package config
+
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
+
+// Architecture selects the inter-chip interconnection technology
+// (paper §IV.A naming: XCYM (Substrate) / (Interposer) / (Wireless)).
+type Architecture string
+
+// Supported architectures.
+const (
+	ArchSubstrate  Architecture = "substrate"
+	ArchInterposer Architecture = "interposer"
+	ArchWireless   Architecture = "wireless"
+	// ArchHybrid overlays the wireless fabric on the interposer system —
+	// the natural extension of the paper's design: wires for neighbor
+	// bandwidth, wireless single hops for distance.
+	ArchHybrid Architecture = "hybrid"
+)
+
+// RoutingMode selects how forwarding tables are computed (DESIGN.md §5.2).
+type RoutingMode string
+
+// Supported routing modes.
+const (
+	// RouteShortest computes true per-source shortest paths (Dijkstra with
+	// X-before-Y tie-breaking). Default: matches the paper's one-hop claims.
+	RouteShortest RoutingMode = "shortest"
+	// RouteTree routes all traffic along a single shortest-path tree rooted
+	// at a (seeded-random) switch — the paper's literal deadlock argument.
+	RouteTree RoutingMode = "tree"
+)
+
+// ChannelMode selects the wireless channel model (DESIGN.md §5.1).
+type ChannelMode string
+
+// Supported channel models.
+const (
+	// ChannelCrossbar models WI pairs as direct links with per-WI egress and
+	// ingress serialization (one flit per cycle each) — the model implied by
+	// the paper's reported bandwidth and latency.
+	ChannelCrossbar ChannelMode = "crossbar"
+	// ChannelExclusive models the PHY as literally described: a single
+	// shared medium at WirelessGbps granted to one WI at a time by the MAC.
+	ChannelExclusive ChannelMode = "exclusive"
+)
+
+// MACMode selects the wireless medium-access protocol.
+type MACMode string
+
+// Supported MAC protocols.
+const (
+	// MACControlPacket is the paper's proposal: per-turn broadcast control
+	// packets carrying (DestWI, PktID, NumFlits) 3-tuples, allowing partial
+	// packet transmission.
+	MACControlPacket MACMode = "control-packet"
+	// MACToken is the prior-work baseline [7]: the turn holder may transmit
+	// only whole packets; otherwise it passes the token.
+	MACToken MACMode = "token"
+)
+
+// Config is the complete description of one simulated system.
+type Config struct {
+	Name string       `json:"name"`
+	Arch Architecture `json:"arch"`
+
+	// Package geometry.
+	ChipsX     int     `json:"chips_x"`      // chip-grid columns
+	ChipsY     int     `json:"chips_y"`      // chip-grid rows
+	CoresX     int     `json:"cores_x"`      // per-chip mesh columns
+	CoresY     int     `json:"cores_y"`      // per-chip mesh rows
+	MemStacks  int     `json:"mem_stacks"`   // total stacks, split across both sides
+	ChipEdgeMM float64 `json:"chip_edge_mm"` // die edge length
+
+	// Memory stack.
+	MemLayers   int `json:"mem_layers"`   // stacked DRAM layers
+	MemChannels int `json:"mem_channels"` // channels per stack
+	// Read-transaction model (used when the workload issues reads).
+	MemServiceCycles int `json:"mem_service_cycles"` // DRAM access latency
+	MemRequestFlits  int `json:"mem_request_flits"`  // read request size
+	MemReplyFlits    int `json:"mem_reply_flits"`    // data reply size
+
+	// Router microarchitecture.
+	VCs            int     `json:"vcs"`             // virtual channels per port
+	BufferDepth    int     `json:"buffer_depth"`    // flits per VC buffer
+	FlitBits       int     `json:"flit_bits"`       //
+	PacketFlits    int     `json:"packet_flits"`    // synthetic-traffic packet size
+	ClockGHz       float64 `json:"clock_ghz"`       //
+	PipelineStages int     `json:"pipeline_stages"` // informational; router is 3-stage
+	InjectionQueue int     `json:"injection_queue"` // NI source-queue capacity (packets)
+
+	// Wireless deployment.
+	CoresPerWI int `json:"cores_per_wi"` // wireless deployment density
+
+	// Wireline physical layer.
+	MeshLatency          int     `json:"mesh_latency_cycles"`
+	MeshPJPerBit         float64 `json:"mesh_pj_per_bit"`
+	SerialGbps           float64 `json:"serial_gbps"`
+	SerialLatency        int     `json:"serial_latency_cycles"`
+	SerialPJPerBit       float64 `json:"serial_pj_per_bit"`
+	InterposerGbps       float64 `json:"interposer_gbps"`
+	InterposerLatency    int     `json:"interposer_latency_cycles"`
+	InterposerPJPerBit   float64 `json:"interposer_pj_per_bit"`
+	WideIOGbps           float64 `json:"wide_io_gbps"`
+	WideIOLatency        int     `json:"wide_io_latency_cycles"`
+	WideIOPJPerBit       float64 `json:"wide_io_pj_per_bit"`
+	TSVLatency           int     `json:"tsv_latency_cycles"`
+	TSVPJPerBitPerLayer  float64 `json:"tsv_pj_per_bit_per_layer"`
+	LocalPJPerBit        float64 `json:"local_pj_per_bit"`
+	SwitchPJPerBit       float64 `json:"switch_pj_per_bit"`
+	SwitchStaticMW       float64 `json:"switch_static_mw"`
+	InterposerBoundaryFr float64 `json:"interposer_boundary_fraction"` // fraction of facing boundary switch pairs wired (µbump budget); 1.0 = all
+
+	// Wireless physical layer and protocol.
+	WirelessChannels  int         `json:"wireless_channels"`    // orthogonal mm-wave sub-channels (crossbar concurrency cap)
+	WirelessGbps      float64     `json:"wireless_gbps"`        // per-transceiver sustained rate
+	WirelessPJPerBit  float64     `json:"wireless_pj_per_bit"`  //
+	WirelessLatency   int         `json:"wireless_latency"`     // extra hop cycles beyond serialization
+	WirelessBER       float64     `json:"wireless_ber"`         // bit error rate (retransmission model)
+	Channel           ChannelMode `json:"channel_mode"`         //
+	MAC               MACMode     `json:"mac_mode"`             //
+	ControlFlits      int         `json:"control_flits"`        // control packet length in flit-times
+	TXBufferFlits     int         `json:"tx_buffer_flits"`      // WI transmit buffer depth
+	SleepEnabled      bool        `json:"sleep_enabled"`        // sleepy transceivers [17]
+	WIRxActiveMW      float64     `json:"wi_rx_active_mw"`      // receiver awake power
+	WISleepMW         float64     `json:"wi_sleep_mw"`          // power-gated receiver power
+	WirelessHopWeight int         `json:"wireless_hop_weight"`  // routing cost of one wireless hop
+	CrossbarEgressGbp float64     `json:"crossbar_egress_gbps"` // 0 = full port rate
+	PostWirelessVCs   int         `json:"post_wireless_vcs"`    // VC class size for post-wireless travel
+
+	// Routing.
+	Routing RoutingMode `json:"routing_mode"`
+
+	// Run control.
+	Seed          uint64 `json:"seed"`
+	WarmupCycles  int64  `json:"warmup_cycles"`
+	MeasureCycles int64  `json:"measure_cycles"`
+	DrainCycles   int64  `json:"drain_cycles"` // post-measurement drain window
+}
+
+// Default returns the baseline configuration shared by every experiment in
+// the paper (§IV): 8 VCs, 16-flit buffers, 64-flit packets, 32-bit flits,
+// 2.5 GHz, 65 nm-derived energy constants. Geometry defaults to 4C4M.
+func Default() Config {
+	return Config{
+		Name:       "4C4M",
+		Arch:       ArchWireless,
+		ChipsX:     2,
+		ChipsY:     2,
+		CoresX:     4,
+		CoresY:     4,
+		MemStacks:  4,
+		ChipEdgeMM: 10,
+
+		MemLayers:   4,
+		MemChannels: 4,
+
+		MemServiceCycles: 40,
+		MemRequestFlits:  8,
+		MemReplyFlits:    64,
+
+		VCs:            8,
+		BufferDepth:    16,
+		FlitBits:       32,
+		PacketFlits:    64,
+		ClockGHz:       2.5,
+		PipelineStages: 3,
+		InjectionQueue: 16,
+
+		CoresPerWI: 16,
+
+		MeshLatency:          1,
+		MeshPJPerBit:         0.375,
+		SerialGbps:           15,
+		SerialLatency:        4,
+		SerialPJPerBit:       5.0,
+		InterposerGbps:       12,
+		InterposerLatency:    2,
+		InterposerPJPerBit:   5.2,
+		WideIOGbps:           128,
+		WideIOLatency:        2,
+		WideIOPJPerBit:       6.5,
+		TSVLatency:           1,
+		TSVPJPerBitPerLayer:  0.05,
+		LocalPJPerBit:        0.1,
+		SwitchPJPerBit:       2.2,
+		SwitchStaticMW:       2.0,
+		InterposerBoundaryFr: 1.0,
+
+		WirelessChannels:  5,
+		WirelessGbps:      16,
+		WirelessPJPerBit:  2.3,
+		WirelessLatency:   1,
+		WirelessBER:       0,
+		Channel:           ChannelCrossbar,
+		MAC:               MACControlPacket,
+		ControlFlits:      1,
+		TXBufferFlits:     16,
+		SleepEnabled:      true,
+		WIRxActiveMW:      0.9,
+		WISleepMW:         0.05,
+		WirelessHopWeight: 4,
+		CrossbarEgressGbp: 0,
+		PostWirelessVCs:   2,
+
+		Routing: RouteShortest,
+
+		Seed:          1,
+		WarmupCycles:  1000,
+		MeasureCycles: 9000,
+		DrainCycles:   0,
+	}
+}
+
+// XCYM returns the preset geometry for one of the paper's standard
+// configurations (1, 4 or 8 chips with 4 memory stacks; 64 cores total)
+// under the given architecture.
+func XCYM(chips, stacks int, arch Architecture) (Config, error) {
+	c := Default()
+	c.Arch = arch
+	c.MemStacks = stacks
+	switch chips {
+	case 1:
+		c.ChipsX, c.ChipsY = 1, 1
+		c.CoresX, c.CoresY = 8, 8
+		c.CoresPerWI = 16 // 4 WIs on the single chip
+	case 4:
+		c.ChipsX, c.ChipsY = 2, 2
+		c.CoresX, c.CoresY = 4, 4
+		c.CoresPerWI = 16 // 1 WI per chip
+	case 8:
+		c.ChipsX, c.ChipsY = 4, 2
+		c.CoresX, c.CoresY = 2, 4
+		c.CoresPerWI = 8 // 1 WI per chip (paper: density raised to keep connectivity)
+	default:
+		return Config{}, fmt.Errorf("config: no XCYM preset for %d chips (want 1, 4 or 8)", chips)
+	}
+	c.Name = fmt.Sprintf("%dC%dM (%s)", chips, stacks, titleASCII(string(arch)))
+	return c, nil
+}
+
+// titleASCII upper-cases the first byte of an ASCII word (architecture names
+// are ASCII; avoids the deprecated strings.Title).
+func titleASCII(s string) string {
+	if s == "" {
+		return s
+	}
+	return strings.ToUpper(s[:1]) + s[1:]
+}
+
+// MustXCYM is XCYM for known-good literal arguments; it panics on error and
+// is intended for tests and examples.
+func MustXCYM(chips, stacks int, arch Architecture) Config {
+	c, err := XCYM(chips, stacks, arch)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// Chips returns the total chip count.
+func (c Config) Chips() int { return c.ChipsX * c.ChipsY }
+
+// CoresPerChip returns cores per chip.
+func (c Config) CoresPerChip() int { return c.CoresX * c.CoresY }
+
+// Cores returns the total core count.
+func (c Config) Cores() int { return c.Chips() * c.CoresPerChip() }
+
+// WIsPerChip returns the number of wireless interfaces deployed per chip.
+func (c Config) WIsPerChip() int {
+	if c.CoresPerWI <= 0 {
+		return 0
+	}
+	n := c.CoresPerChip() / c.CoresPerWI
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
+// PortRateGbps returns the full rate of a one-flit-wide port.
+func (c Config) PortRateGbps() float64 { return float64(c.FlitBits) * c.ClockGHz }
+
+// Validate checks the configuration for internal consistency.
+func (c Config) Validate() error {
+	switch c.Arch {
+	case ArchSubstrate, ArchInterposer, ArchWireless, ArchHybrid:
+	default:
+		return fmt.Errorf("config: unknown architecture %q", c.Arch)
+	}
+	switch c.Routing {
+	case RouteShortest, RouteTree:
+	default:
+		return fmt.Errorf("config: unknown routing mode %q", c.Routing)
+	}
+	switch c.Channel {
+	case ChannelCrossbar, ChannelExclusive:
+	default:
+		return fmt.Errorf("config: unknown channel mode %q", c.Channel)
+	}
+	switch c.MAC {
+	case MACControlPacket, MACToken:
+	default:
+		return fmt.Errorf("config: unknown MAC mode %q", c.MAC)
+	}
+	type bound struct {
+		name string
+		v    int
+		min  int
+	}
+	for _, b := range []bound{
+		{"chips_x", c.ChipsX, 1},
+		{"chips_y", c.ChipsY, 1},
+		{"cores_x", c.CoresX, 1},
+		{"cores_y", c.CoresY, 1},
+		{"mem_stacks", c.MemStacks, 0},
+		{"mem_layers", c.MemLayers, 1},
+		{"mem_channels", c.MemChannels, 1},
+		{"mem_service_cycles", c.MemServiceCycles, 0},
+		{"mem_request_flits", c.MemRequestFlits, 1},
+		{"mem_reply_flits", c.MemReplyFlits, 1},
+		{"vcs", c.VCs, 1},
+		{"buffer_depth", c.BufferDepth, 1},
+		{"flit_bits", c.FlitBits, 1},
+		{"packet_flits", c.PacketFlits, 1},
+		{"injection_queue", c.InjectionQueue, 1},
+		{"control_flits", c.ControlFlits, 1},
+		{"tx_buffer_flits", c.TXBufferFlits, 1},
+		{"mesh_latency_cycles", c.MeshLatency, 1},
+		{"wireless_hop_weight", c.WirelessHopWeight, 1},
+	} {
+		if b.v < b.min {
+			return fmt.Errorf("config: %s must be >= %d, got %d", b.name, b.min, b.v)
+		}
+	}
+	if c.ClockGHz <= 0 {
+		return fmt.Errorf("config: clock_ghz must be positive, got %v", c.ClockGHz)
+	}
+	if c.MemStacks%2 != 0 && c.MemStacks != 0 {
+		return fmt.Errorf("config: mem_stacks must be even (stacks flank both sides), got %d", c.MemStacks)
+	}
+	if c.Arch == ArchWireless || c.Arch == ArchHybrid {
+		if c.CoresPerWI < 1 {
+			return fmt.Errorf("config: cores_per_wi must be >= 1 for wireless, got %d", c.CoresPerWI)
+		}
+		if c.VCs < 2 {
+			return fmt.Errorf("config: wireless requires vcs >= 2 (VC phase classes), got %d", c.VCs)
+		}
+		if c.PostWirelessVCs < 1 || c.PostWirelessVCs >= c.VCs {
+			return fmt.Errorf("config: post_wireless_vcs must be in [1, vcs), got %d", c.PostWirelessVCs)
+		}
+		if c.WirelessChannels < 1 {
+			return fmt.Errorf("config: wireless_channels must be >= 1, got %d", c.WirelessChannels)
+		}
+		if c.WirelessGbps <= 0 {
+			return fmt.Errorf("config: wireless_gbps must be positive, got %v", c.WirelessGbps)
+		}
+		if c.WirelessBER < 0 || c.WirelessBER >= 1 {
+			return fmt.Errorf("config: wireless_ber must be in [0,1), got %v", c.WirelessBER)
+		}
+		if c.MAC == MACToken && c.TXBufferFlits < c.PacketFlits {
+			return fmt.Errorf("config: token MAC requires tx_buffer_flits >= packet_flits (%d < %d): whole packets only", c.TXBufferFlits, c.PacketFlits)
+		}
+	}
+	if c.WarmupCycles < 0 || c.MeasureCycles <= 0 || c.DrainCycles < 0 {
+		return fmt.Errorf("config: run windows must be non-negative with measure_cycles > 0")
+	}
+	if c.CoresPerChip()%max(1, c.CoresPerWI) != 0 && (c.Arch == ArchWireless || c.Arch == ArchHybrid) {
+		return fmt.Errorf("config: cores_per_wi (%d) must divide cores per chip (%d)", c.CoresPerWI, c.CoresPerChip())
+	}
+	return nil
+}
+
+// MarshalPretty returns an indented JSON encoding of the configuration.
+func (c Config) MarshalPretty() ([]byte, error) {
+	return json.MarshalIndent(c, "", "  ")
+}
+
+// Parse decodes a JSON configuration, applying defaults for absent fields.
+func Parse(data []byte) (Config, error) {
+	c := Default()
+	if err := json.Unmarshal(data, &c); err != nil {
+		return Config{}, fmt.Errorf("config: parse: %w", err)
+	}
+	if err := c.Validate(); err != nil {
+		return Config{}, err
+	}
+	return c, nil
+}

@@ -1,0 +1,187 @@
+package config
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestDefaultIsValid(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+}
+
+func TestXCYMPresets(t *testing.T) {
+	tests := []struct {
+		chips      int
+		wantCores  int
+		wantPerWI  int
+		wantWIs    int
+		wantCoresX int
+	}{
+		{1, 64, 16, 4, 8},
+		{4, 64, 16, 1, 4},
+		{8, 64, 8, 1, 2},
+	}
+	for _, tc := range tests {
+		for _, arch := range []Architecture{ArchSubstrate, ArchInterposer, ArchWireless} {
+			cfg, err := XCYM(tc.chips, 4, arch)
+			if err != nil {
+				t.Fatalf("XCYM(%d, %s): %v", tc.chips, arch, err)
+			}
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("XCYM(%d, %s) invalid: %v", tc.chips, arch, err)
+			}
+			if cfg.Cores() != tc.wantCores {
+				t.Errorf("XCYM(%d): cores = %d, want %d", tc.chips, cfg.Cores(), tc.wantCores)
+			}
+			if cfg.Chips() != tc.chips {
+				t.Errorf("XCYM(%d): chips = %d", tc.chips, cfg.Chips())
+			}
+			if cfg.CoresPerWI != tc.wantPerWI {
+				t.Errorf("XCYM(%d): cores/WI = %d, want %d", tc.chips, cfg.CoresPerWI, tc.wantPerWI)
+			}
+			if cfg.WIsPerChip() != tc.wantWIs {
+				t.Errorf("XCYM(%d): WIs/chip = %d, want %d", tc.chips, cfg.WIsPerChip(), tc.wantWIs)
+			}
+			if cfg.CoresX != tc.wantCoresX {
+				t.Errorf("XCYM(%d): coresX = %d, want %d", tc.chips, cfg.CoresX, tc.wantCoresX)
+			}
+		}
+	}
+}
+
+func TestXCYMUnknownChips(t *testing.T) {
+	if _, err := XCYM(3, 4, ArchWireless); err == nil {
+		t.Fatal("XCYM(3) accepted")
+	}
+}
+
+func TestXCYMNames(t *testing.T) {
+	cfg := MustXCYM(4, 4, ArchWireless)
+	if !strings.Contains(cfg.Name, "4C4M") || !strings.Contains(cfg.Name, "Wireless") {
+		t.Fatalf("preset name = %q", cfg.Name)
+	}
+}
+
+func TestMustXCYMPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustXCYM(7) did not panic")
+		}
+	}()
+	MustXCYM(7, 4, ArchWireless)
+}
+
+func TestValidationErrors(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Config)
+	}{
+		{"bad arch", func(c *Config) { c.Arch = "quantum" }},
+		{"bad routing", func(c *Config) { c.Routing = "magic" }},
+		{"bad channel", func(c *Config) { c.Channel = "psychic" }},
+		{"bad mac", func(c *Config) { c.MAC = "aloha" }},
+		{"zero chips x", func(c *Config) { c.ChipsX = 0 }},
+		{"zero cores y", func(c *Config) { c.CoresY = 0 }},
+		{"zero vcs", func(c *Config) { c.VCs = 0 }},
+		{"one vc wireless", func(c *Config) { c.VCs = 1 }},
+		{"zero buffer", func(c *Config) { c.BufferDepth = 0 }},
+		{"zero flit bits", func(c *Config) { c.FlitBits = 0 }},
+		{"zero packet flits", func(c *Config) { c.PacketFlits = 0 }},
+		{"zero clock", func(c *Config) { c.ClockGHz = 0 }},
+		{"odd stacks", func(c *Config) { c.MemStacks = 3 }},
+		{"zero injection queue", func(c *Config) { c.InjectionQueue = 0 }},
+		{"negative warmup", func(c *Config) { c.WarmupCycles = -1 }},
+		{"zero measure", func(c *Config) { c.MeasureCycles = 0 }},
+		{"bad mem layers", func(c *Config) { c.MemLayers = 0 }},
+		{"bad wireless rate", func(c *Config) { c.WirelessGbps = 0 }},
+		{"bad ber", func(c *Config) { c.WirelessBER = 1.5 }},
+		{"negative ber", func(c *Config) { c.WirelessBER = -0.1 }},
+		{"bad channels", func(c *Config) { c.WirelessChannels = 0 }},
+		{"bad post vcs", func(c *Config) { c.PostWirelessVCs = 0 }},
+		{"post vcs too big", func(c *Config) { c.PostWirelessVCs = 8 }},
+		{"indivisible wi density", func(c *Config) { c.CoresPerWI = 5 }},
+		{"token buffer too small", func(c *Config) { c.MAC = MACToken; c.TXBufferFlits = 8 }},
+		{"bad hop weight", func(c *Config) { c.WirelessHopWeight = 0 }},
+	}
+	for _, tc := range mutations {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := Default()
+			tc.mut(&cfg)
+			if err := cfg.Validate(); err == nil {
+				t.Fatalf("mutation %q accepted", tc.name)
+			}
+		})
+	}
+}
+
+func TestWiredArchSkipsWirelessChecks(t *testing.T) {
+	cfg := MustXCYM(4, 4, ArchInterposer)
+	cfg.WirelessGbps = 0 // irrelevant for wired systems
+	cfg.VCs = 1
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("wired config rejected on wireless fields: %v", err)
+	}
+}
+
+func TestDerivedCounts(t *testing.T) {
+	cfg := MustXCYM(8, 4, ArchWireless)
+	if cfg.CoresPerChip() != 8 {
+		t.Fatalf("cores/chip = %d, want 8", cfg.CoresPerChip())
+	}
+	if got := cfg.PortRateGbps(); got != 80 {
+		t.Fatalf("port rate = %v Gbps, want 80", got)
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	orig := MustXCYM(4, 4, ArchWireless)
+	orig.Seed = 99
+	orig.WirelessBER = 1e-9
+	data, err := orig.MarshalPretty()
+	if err != nil {
+		t.Fatal(err)
+	}
+	back, err := Parse(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back != orig {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, orig)
+	}
+}
+
+func TestParseAppliesDefaults(t *testing.T) {
+	cfg, err := Parse([]byte(`{"seed": 7}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 7 {
+		t.Fatalf("seed = %d, want 7", cfg.Seed)
+	}
+	if cfg.VCs != Default().VCs {
+		t.Fatalf("vcs = %d, want default %d", cfg.VCs, Default().VCs)
+	}
+}
+
+func TestParseRejectsGarbage(t *testing.T) {
+	if _, err := Parse([]byte(`{"arch": "telepathy"}`)); err == nil {
+		t.Fatal("invalid arch accepted through Parse")
+	}
+	if _, err := Parse([]byte(`{nope`)); err == nil {
+		t.Fatal("malformed JSON accepted")
+	}
+}
+
+func TestWIsPerChipMinimumOne(t *testing.T) {
+	cfg := Default()
+	cfg.CoresPerWI = 1000 // denser than the chip: still one WI for connectivity
+	if got := cfg.WIsPerChip(); got != 1 {
+		t.Fatalf("WIsPerChip = %d, want 1", got)
+	}
+	cfg.CoresPerWI = 0
+	if got := cfg.WIsPerChip(); got != 0 {
+		t.Fatalf("WIsPerChip with zero density = %d, want 0", got)
+	}
+}

@@ -1,0 +1,323 @@
+package core
+
+import (
+	"fmt"
+
+	"wimc/internal/config"
+	"wimc/internal/energy"
+	"wimc/internal/noc"
+	"wimc/internal/sim"
+)
+
+// macPhase is the exclusive-channel MAC state.
+type macPhase uint8
+
+const (
+	phaseIdle macPhase = iota
+	phaseControl
+	phaseData
+)
+
+// delivery is a wireless flit in flight to a destination WI.
+type delivery struct {
+	at   sim.Cycle
+	dest *WI
+	vc   int
+	f    noc.Flit
+}
+
+// Fabric coordinates every wireless interface in the package: channel
+// arbitration (per the configured channel model and MAC), flit delivery,
+// receive-space accounting and transceiver power gating.
+type Fabric struct {
+	cfg   config.Config
+	meter *energy.Meter
+	rng   *sim.Rand
+
+	wis  []*WI
+	wiOf map[sim.SwitchID]*WI
+
+	pjPerFlit   float64
+	flitErrProb float64
+	extraLat    sim.Cycle
+
+	pending []delivery
+	rrDst   int // rotates the destination service order (crossbar)
+
+	// Exclusive-channel MAC state.
+	channel       sim.TokenBucket
+	turn          int
+	phase         macPhase
+	controlLeft   int
+	announceLeft  int
+	announceDests map[int]bool // WI indexes addressed by the current turn
+	tokenPktID    uint64       // token MAC: packet granted this turn
+	tokenQueue    int          // token MAC: TX queue holding the granted packet
+
+	// Statistics.
+	ControlPackets int64
+	TokenPasses    int64
+	Retransmits    int64
+	AwakeCycles    int64
+	SleepCycles    int64
+	Launched       int64
+}
+
+// NewFabric constructs the wireless fabric. WIs are added afterwards with
+// AddWI in MAC-sequence order.
+func NewFabric(cfg config.Config, m *energy.Meter, rng *sim.Rand) *Fabric {
+	// Per-flit error probability: 1 - (1-BER)^bits ≈ bits*BER for small BER.
+	flitErr := 1.0 - pow1m(cfg.WirelessBER, cfg.FlitBits)
+	rate := sim.RateFromGbps(cfg.WirelessGbps, cfg.FlitBits, cfg.ClockGHz)
+	extra := cfg.WirelessLatency
+	if extra < 1 {
+		extra = 1
+	}
+	return &Fabric{
+		cfg:           cfg,
+		meter:         m,
+		rng:           rng,
+		wiOf:          make(map[sim.SwitchID]*WI),
+		pjPerFlit:     cfg.WirelessPJPerBit * float64(cfg.FlitBits),
+		flitErrProb:   flitErr,
+		extraLat:      sim.Cycle(extra),
+		channel:       sim.NewTokenBucket(rate),
+		announceDests: make(map[int]bool),
+	}
+}
+
+// pow1m computes (1-p)^n without math.Pow for tiny p.
+func pow1m(p float64, n int) float64 {
+	out := 1.0
+	for i := 0; i < n; i++ {
+		out *= 1 - p
+	}
+	return out
+}
+
+// AddWI attaches a wireless interface to sw, creating its wireless ports.
+// WIs must be added in the paper's numbering order (the MAC turn sequence).
+func (fb *Fabric) AddWI(sw *noc.Switch) *WI {
+	egressRate := sim.RateOne
+	if fb.cfg.Channel == config.ChannelCrossbar && fb.cfg.CrossbarEgressGbp > 0 {
+		egressRate = sim.RateFromGbps(fb.cfg.CrossbarEgressGbp, fb.cfg.FlitBits, fb.cfg.ClockGHz)
+	}
+	w := &WI{
+		Index:     len(fb.wis),
+		SwitchID:  sw.ID,
+		fb:        fb,
+		sw:        sw,
+		txDepth:   fb.cfg.TXBufferFlits,
+		txVC:      make([][]txEntry, sw.VCs()),
+		announced: make([]int, sw.VCs()),
+		egress:    sim.NewTokenBucket(egressRate),
+		pktVC:     make(map[uint64]int, sw.VCs()),
+		vcInUse:   make([]bool, sw.VCs()),
+		space:     make([]int, sw.VCs()),
+	}
+	for i := range w.space {
+		w.space[i] = fb.cfg.BufferDepth
+	}
+	// Output credits equal the per-VC TX queue depth.
+	w.outPort = sw.AddOutputPort(w, fb.cfg.TXBufferFlits)
+	w.inPort = sw.AddInputPort(w)
+	fb.wis = append(fb.wis, w)
+	fb.wiOf[sw.ID] = w
+	return w
+}
+
+// WIs returns the fabric's interfaces in MAC order.
+func (fb *Fabric) WIs() []*WI { return fb.wis }
+
+// WIBySwitch returns the WI hosted at switch id, if any.
+func (fb *Fabric) WIBySwitch(id sim.SwitchID) (*WI, bool) {
+	w, ok := fb.wiOf[id]
+	return w, ok
+}
+
+// Launch arbitrates the channel and starts flit transmissions for this
+// cycle. It runs before the switches' allocation stages so it sees the TX
+// queues as filled by previous cycles.
+func (fb *Fabric) Launch(now sim.Cycle) {
+	if len(fb.wis) < 2 {
+		return
+	}
+	for _, w := range fb.wis {
+		w.egress.Refill()
+		w.awake = !fb.cfg.SleepEnabled // sleepy receivers wake on demand
+	}
+	switch fb.cfg.Channel {
+	case config.ChannelCrossbar:
+		fb.launchCrossbar(now)
+	case config.ChannelExclusive:
+		fb.launchExclusive(now)
+	}
+	// Power-gating accounting.
+	for _, w := range fb.wis {
+		if w.awake {
+			fb.AwakeCycles++
+		} else {
+			fb.SleepCycles++
+		}
+	}
+}
+
+// launchCrossbar arbitrates concurrent pairwise transmissions: destinations
+// are served in a rotating order; each destination admits one source per
+// cycle (round-robin); each source transmits at most one flit per cycle,
+// chosen round-robin among its TX queues holding a launchable flit for that
+// destination. Total concurrent transmissions are capped by the number of
+// orthogonal mm-wave sub-channels (cfg.WirelessChannels, after the
+// multi-channel transceivers of Chang et al. [6]) — this is the "physical
+// bandwidth of the wireless interconnections remains constant regardless of
+// the number of chips" property the paper's §IV.C argument relies on.
+func (fb *Fabric) launchCrossbar(now sim.Cycle) {
+	n := len(fb.wis)
+	budget := fb.cfg.WirelessChannels
+	if budget <= 0 || budget > n {
+		budget = n
+	}
+	launched := make([]bool, n)
+	for di := 0; di < n && budget > 0; di++ {
+		dst := fb.wis[(fb.rrDst+di)%n]
+		for k := 0; k < n; k++ {
+			src := fb.wis[(dst.rrSrc+k)%n]
+			if src == dst || launched[src.Index] {
+				continue
+			}
+			if !src.egress.CanSpend() {
+				continue
+			}
+			q := fb.launchableQueue(src, dst)
+			if q < 0 {
+				continue
+			}
+			fb.transmit(now, src, q)
+			launched[src.Index] = true
+			dst.rrSrc = (src.Index + 1) % n
+			budget--
+			break
+		}
+	}
+	fb.rrDst = (fb.rrDst + 1) % n
+}
+
+// launchableQueue returns a TX queue of src whose head flit can be
+// transmitted to dst this cycle (receive VC and buffer space available,
+// reserving them), or -1.
+func (fb *Fabric) launchableQueue(src *WI, dst *WI) int {
+	nq := len(src.txVC)
+	for k := 0; k < nq; k++ {
+		q := (src.rrTx + k) % nq
+		if len(src.txVC[q]) == 0 {
+			continue
+		}
+		e := &src.txVC[q][0]
+		if e.dest != dst {
+			continue
+		}
+		if e.reserved {
+			src.rrTx = (q + 1) % nq
+			return q
+		}
+		f := e.f
+		var vc int
+		if f.IsHead() {
+			vc = dst.allocRxVC(f.Pkt.ID)
+			if vc < 0 {
+				continue // no receive VC free; try another stream
+			}
+		} else {
+			vc = dst.rxVCFor(f.Pkt.ID)
+			if vc < 0 {
+				panic(fmt.Sprintf("core: WI %d body flit of pkt %d has no rx VC at WI %d",
+					src.Index, f.Pkt.ID, dst.Index))
+			}
+		}
+		if dst.space[vc] <= 0 {
+			continue // receiver buffer full; try another stream
+		}
+		dst.space[vc]--
+		e.reserved = true
+		src.rrTx = (q + 1) % nq
+		return q
+	}
+	return -1
+}
+
+// transmit sends the head flit of src's TX queue q, whose receive slot is
+// already reserved. It reports whether the flit was delivered (false =
+// corrupted; the flit stays queued for retransmission).
+func (fb *Fabric) transmit(now sim.Cycle, src *WI, q int) bool {
+	e := &src.txVC[q][0]
+	f := e.f
+	dst := e.dest
+	vc := dst.rxVCFor(f.Pkt.ID)
+	if vc < 0 {
+		panic(fmt.Sprintf("core: reserved flit of pkt %d has no rx VC", f.Pkt.ID))
+	}
+	if !src.egress.TrySpend() {
+		return false
+	}
+
+	// Transmission energy is spent even when the flit is corrupted.
+	pj := fb.meter.AddDynamic(energy.ClassWireless, fb.cfg.FlitBits, fb.pjPerFlit)
+	f.Pkt.AddEnergy(pj)
+	src.awake = true
+	dst.awake = true
+
+	if fb.flitErrProb > 0 && fb.rng.Float64() < fb.flitErrProb {
+		src.Retransmits++
+		f.Pkt.Retransmits++
+		fb.Retransmits++
+		return false
+	}
+
+	src.popTx(q)
+	src.TxFlits++
+	dst.RxFlits++
+	fb.Launched++
+	f.VC = int16(vc)
+	f.Phase = 1 // post-wireless VC class (deadlock layering)
+	fb.pending = append(fb.pending, delivery{at: now + fb.extraLat, dest: dst, vc: vc, f: f})
+	if f.IsTail() {
+		dst.releaseRxVC(f.Pkt.ID)
+	}
+	return true
+}
+
+// Deliver lands wireless flits whose flight time has elapsed. It runs with
+// the wired links' delivery phase so both technologies share timing.
+func (fb *Fabric) Deliver(now sim.Cycle) {
+	for len(fb.pending) > 0 && fb.pending[0].at <= now {
+		d := fb.pending[0]
+		fb.pending = fb.pending[1:]
+		d.dest.sw.Receive(d.dest.inPort, d.vc, d.f)
+	}
+}
+
+// PendingLen returns the number of wireless flits in flight (test hook).
+func (fb *Fabric) PendingLen() int { return len(fb.pending) }
+
+// BufferedTxFlits returns the total flits across all WI TX queues.
+func (fb *Fabric) BufferedTxFlits() int {
+	n := 0
+	for _, w := range fb.wis {
+		n += w.TxLen()
+	}
+	return n
+}
+
+// Drained reports whether no wireless traffic remains buffered or in
+// flight.
+func (fb *Fabric) Drained() bool {
+	if len(fb.pending) > 0 {
+		return false
+	}
+	for _, w := range fb.wis {
+		if w.TxLen() > 0 {
+			return false
+		}
+	}
+	return true
+}

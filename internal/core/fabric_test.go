@@ -1,0 +1,250 @@
+package core
+
+import (
+	"testing"
+
+	"wimc/internal/energy"
+)
+
+func TestCrossbarEndToEnd(t *testing.T) {
+	r := newRig(t, 2, testConfig())
+	p := r.send(t, 1, 0, 1, 8)
+	r.run(100)
+	if len(r.delivered) != 1 {
+		t.Fatalf("delivered %d packets", len(r.delivered))
+	}
+	if p.DeliveredAt == 0 {
+		t.Fatal("timestamp missing")
+	}
+	if r.wis[0].TxFlits != 8 || r.wis[1].RxFlits != 8 {
+		t.Fatalf("tx/rx counters %d/%d, want 8/8", r.wis[0].TxFlits, r.wis[1].RxFlits)
+	}
+	if r.fabric.Launched != 8 {
+		t.Fatalf("fabric launched %d flits", r.fabric.Launched)
+	}
+}
+
+func TestCrossbarRxVCReleasedAfterTail(t *testing.T) {
+	r := newRig(t, 2, testConfig())
+	r.send(t, 1, 0, 1, 4)
+	r.run(100)
+	for vc, used := range r.wis[1].vcInUse {
+		if used {
+			t.Fatalf("rx VC %d still reserved after tail", vc)
+		}
+	}
+	if len(r.wis[1].pktVC) != 0 {
+		t.Fatalf("rx VC map leaks: %v", r.wis[1].pktVC)
+	}
+	// Space fully restored once the destination drained everything.
+	for vc, s := range r.wis[1].space {
+		if s != r.cfg.BufferDepth {
+			t.Fatalf("rx space[%d] = %d, want %d", vc, s, r.cfg.BufferDepth)
+		}
+	}
+}
+
+func TestCrossbarEgressSerialization(t *testing.T) {
+	// One source, two destinations: the source may launch at most one flit
+	// per cycle even with two eager streams.
+	r := newRig(t, 3, testConfig())
+	r.send(t, 1, 0, 1, 8)
+	r.send(t, 2, 0, 2, 8)
+	prev := r.wis[0].TxFlits
+	for i := 0; i < 120; i++ {
+		r.step()
+		if d := r.wis[0].TxFlits - prev; d > 1 {
+			t.Fatalf("WI 0 transmitted %d flits in one cycle", d)
+		}
+		prev = r.wis[0].TxFlits
+	}
+	if len(r.delivered) != 2 {
+		t.Fatalf("delivered %d/2", len(r.delivered))
+	}
+}
+
+func TestCrossbarIngressSerialization(t *testing.T) {
+	// Two sources, one destination: the destination receives at most one
+	// flit per cycle.
+	r := newRig(t, 3, testConfig())
+	r.send(t, 1, 0, 2, 8)
+	r.send(t, 2, 1, 2, 8)
+	prev := r.wis[2].RxFlits
+	for i := 0; i < 150; i++ {
+		r.step()
+		if d := r.wis[2].RxFlits - prev; d > 1 {
+			t.Fatalf("WI 2 received %d flits in one cycle", d)
+		}
+		prev = r.wis[2].RxFlits
+	}
+	if len(r.delivered) != 2 {
+		t.Fatalf("delivered %d/2", len(r.delivered))
+	}
+}
+
+func TestCrossbarChannelBudget(t *testing.T) {
+	// Three concurrent pairs but a single orthogonal sub-channel: at most
+	// one launch per cycle fabric-wide.
+	cfg := testConfig()
+	cfg.WirelessChannels = 1
+	r := newRig(t, 6, cfg)
+	r.send(t, 1, 0, 3, 6)
+	r.send(t, 2, 1, 4, 6)
+	r.send(t, 3, 2, 5, 6)
+	prev := r.fabric.Launched
+	for i := 0; i < 200; i++ {
+		r.step()
+		if d := r.fabric.Launched - prev; d > 1 {
+			t.Fatalf("fabric launched %d flits in one cycle with 1 channel", d)
+		}
+		prev = r.fabric.Launched
+	}
+	if len(r.delivered) != 3 {
+		t.Fatalf("delivered %d/3", len(r.delivered))
+	}
+}
+
+func TestCrossbarRxVCExhaustion(t *testing.T) {
+	// More concurrent inbound packets than VCs: everything still delivers
+	// (head-of-line streams wait for VC release).
+	cfg := testConfig()
+	cfg.VCs = 2
+	cfg.PostWirelessVCs = 1
+	r := newRig(t, 5, cfg)
+	for i := 0; i < 4; i++ {
+		r.send(t, uint64(i+1), i, 4, 8) // all into WI 4
+	}
+	r.run(400)
+	if len(r.delivered) != 4 {
+		t.Fatalf("delivered %d/4 under VC exhaustion", len(r.delivered))
+	}
+}
+
+func TestWirelessFlitsEnterPhase1(t *testing.T) {
+	r := newRig(t, 2, testConfig())
+	p := r.send(t, 1, 0, 1, 2)
+	r.run(60)
+	if len(r.delivered) != 1 {
+		t.Fatal("no delivery")
+	}
+	_ = p
+	// The destination's awake cycles prove reception; phase correctness is
+	// asserted structurally by the deadlock checker and the VA restriction
+	// tests in package noc.
+	if r.wis[1].RxFlits != 2 {
+		t.Fatalf("rx flits = %d", r.wis[1].RxFlits)
+	}
+}
+
+func TestBERRetransmission(t *testing.T) {
+	cfg := testConfig()
+	cfg.WirelessBER = 0.01 // ~27% flit error rate at 32-bit flits
+	r := newRig(t, 2, cfg)
+	p := r.send(t, 1, 0, 1, 8)
+	r.run(400)
+	if len(r.delivered) != 1 {
+		t.Fatalf("delivered %d packets under BER", len(r.delivered))
+	}
+	if r.fabric.Retransmits == 0 {
+		t.Fatal("no retransmissions at BER 1e-2")
+	}
+	if p.Retransmits == 0 {
+		t.Fatal("packet retransmit counter not attributed")
+	}
+	// Energy is charged per attempt: wireless energy must exceed the
+	// error-free cost of 8 flits.
+	perFlit := cfg.WirelessPJPerBit * float64(cfg.FlitBits)
+	if got := r.meter.DynamicPJ(energy.ClassWireless); got <= 8*perFlit {
+		t.Fatalf("wireless energy %v pJ does not include retransmissions", got)
+	}
+}
+
+func TestSleepAccounting(t *testing.T) {
+	cfg := testConfig()
+	r := newRig(t, 4, cfg)
+	r.send(t, 1, 0, 1, 4)
+	r.run(100)
+	if r.fabric.SleepCycles == 0 {
+		t.Fatal("no WI ever slept with gating enabled")
+	}
+	if r.fabric.AwakeCycles == 0 {
+		t.Fatal("no WI was ever awake")
+	}
+
+	cfg.SleepEnabled = false
+	r2 := newRig(t, 4, cfg)
+	r2.send(t, 1, 0, 1, 4)
+	r2.run(100)
+	if r2.fabric.SleepCycles != 0 {
+		t.Fatal("WIs slept with gating disabled")
+	}
+}
+
+func TestFabricDrained(t *testing.T) {
+	r := newRig(t, 2, testConfig())
+	if !r.fabric.Drained() {
+		t.Fatal("fresh fabric not drained")
+	}
+	r.send(t, 1, 0, 1, 8)
+	r.run(5)
+	if r.fabric.Drained() {
+		t.Fatal("fabric drained while transmitting")
+	}
+	r.run(200)
+	if !r.fabric.Drained() {
+		t.Fatal("fabric not drained after delivery")
+	}
+	if r.fabric.BufferedTxFlits() != 0 || r.fabric.PendingLen() != 0 {
+		t.Fatal("fabric buffers leak")
+	}
+}
+
+func TestWIBySwitch(t *testing.T) {
+	r := newRig(t, 2, testConfig())
+	w, ok := r.fabric.WIBySwitch(0)
+	if !ok || w.Index != 0 {
+		t.Fatal("WIBySwitch(0) wrong")
+	}
+	if _, ok := r.fabric.WIBySwitch(99); ok {
+		t.Fatal("WIBySwitch(99) found a WI")
+	}
+	if len(r.fabric.WIs()) != 2 {
+		t.Fatal("WIs() length")
+	}
+}
+
+func TestSingleWIFabricIsInert(t *testing.T) {
+	r := newRig(t, 1, testConfig())
+	r.run(10) // must not panic or launch
+	if r.fabric.Launched != 0 {
+		t.Fatal("single-WI fabric launched flits")
+	}
+}
+
+func TestMaxTxDepthTracked(t *testing.T) {
+	cfg := testConfig()
+	cfg.WirelessChannels = 1
+	r := newRig(t, 3, cfg)
+	r.send(t, 1, 0, 2, 8)
+	r.send(t, 2, 1, 2, 8)
+	r.run(300)
+	if r.wis[0].MaxTxDepth == 0 && r.wis[1].MaxTxDepth == 0 {
+		t.Fatal("TX depth statistic never recorded")
+	}
+}
+
+func TestEgressRateLimit(t *testing.T) {
+	// Crossbar egress capped at 16 Gbps = 0.2 flits/cycle: 8 flits take at
+	// least ~35 cycles to leave the WI.
+	cfg := testConfig()
+	cfg.CrossbarEgressGbp = 16
+	r := newRig(t, 2, cfg)
+	p := r.send(t, 1, 0, 1, 8)
+	r.run(200)
+	if len(r.delivered) != 1 {
+		t.Fatal("no delivery")
+	}
+	if p.DeliveredAt < 35 {
+		t.Fatalf("egress-limited packet arrived in %d cycles", p.DeliveredAt)
+	}
+}

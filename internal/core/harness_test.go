@@ -1,0 +1,117 @@
+package core
+
+import (
+	"testing"
+
+	"wimc/internal/config"
+	"wimc/internal/energy"
+	"wimc/internal/noc"
+	"wimc/internal/sim"
+)
+
+// rig is a minimal all-wireless network: n switches, each hosting one WI
+// and one endpoint; every route crosses the wireless fabric.
+type rig struct {
+	cfg       config.Config
+	meter     *energy.Meter
+	fabric    *Fabric
+	switches  []*noc.Switch
+	endpoints []*noc.Endpoint
+	wis       []*WI
+	delivered []*noc.Packet
+	now       sim.Cycle
+}
+
+// testConfig returns a small wireless configuration for fabric tests.
+func testConfig() config.Config {
+	cfg := config.Default()
+	cfg.VCs = 4
+	cfg.BufferDepth = 4
+	cfg.TXBufferFlits = 8
+	cfg.PacketFlits = 8
+	cfg.WirelessChannels = 16 // unconstrained unless a test overrides
+	cfg.PostWirelessVCs = 2
+	return cfg
+}
+
+func newRig(t *testing.T, n int, cfg config.Config) *rig {
+	t.Helper()
+	m, err := energy.NewMeter(cfg.ClockGHz)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := &rig{cfg: cfg, meter: m}
+	r.fabric = NewFabric(cfg, m, sim.NewRand(7).Derive("wireless-test"))
+
+	onDeliver := func(_ sim.Cycle, p *noc.Packet) { r.delivered = append(r.delivered, p) }
+
+	for i := 0; i < n; i++ {
+		sw := noc.NewSwitch(sim.SwitchID(i), cfg.VCs, cfg.BufferDepth, cfg.FlitBits, 0, m)
+		sw.SetPhaseSplit(true, cfg.PostWirelessVCs)
+		r.switches = append(r.switches, sw)
+		r.wis = append(r.wis, r.fabric.AddWI(sw))
+	}
+	for i, sw := range r.switches {
+		in := sw.AddInputPort(nil)
+		out := sw.AddOutputPort(nil, cfg.BufferDepth)
+		ep := noc.NewEndpoint(sim.EndpointID(i), sw, in, out, 1, 0,
+			energy.ClassLinkLocal, cfg.FlitBits, 64, onDeliver, m)
+		sw.SetInputCredit(in, ep)
+		sw.SetOutputConduit(out, ep)
+		r.endpoints = append(r.endpoints, ep)
+	}
+	// Forwarding: endpoint j local on switch j, reached from switch i != j
+	// through the wireless port.
+	for i, sw := range r.switches {
+		fwd := make([]noc.PortHop, n)
+		for j := 0; j < n; j++ {
+			if i == j {
+				fwd[j] = noc.PortHop{Port: 1, Next: sim.NoSwitch} // out port 1 = ejection
+			} else {
+				fwd[j] = noc.PortHop{Port: int16(r.wis[i].OutPort()), Next: sim.SwitchID(j)}
+			}
+		}
+		sw.SetForwarding(fwd)
+	}
+	return r
+}
+
+func (r *rig) step() {
+	r.fabric.Launch(r.now)
+	for _, sw := range r.switches {
+		sw.TickSAST(r.now)
+	}
+	for _, sw := range r.switches {
+		sw.TickVA(r.now)
+	}
+	for _, sw := range r.switches {
+		sw.TickRC(r.now)
+	}
+	r.fabric.Deliver(r.now)
+	for _, ep := range r.endpoints {
+		ep.Tick(r.now)
+	}
+	r.now++
+}
+
+func (r *rig) run(cycles int) {
+	for i := 0; i < cycles; i++ {
+		r.step()
+	}
+}
+
+// send queues a packet from endpoint src to endpoint dst.
+func (r *rig) send(t *testing.T, id uint64, src, dst, flits int) *noc.Packet {
+	t.Helper()
+	p := &noc.Packet{
+		ID:       id,
+		Src:      sim.EndpointID(src),
+		Dst:      sim.EndpointID(dst),
+		NumFlits: flits,
+		Class:    noc.ClassCoreToCore,
+	}
+	if !r.endpoints[src].Offer(p) {
+		t.Fatalf("offer refused for packet %d", id)
+	}
+	return p
+}

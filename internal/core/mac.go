@@ -1,0 +1,237 @@
+package core
+
+import (
+	"fmt"
+
+	"wimc/internal/config"
+	"wimc/internal/energy"
+	"wimc/internal/sim"
+)
+
+// launchExclusive drives the single shared mm-wave channel. WIs take turns
+// in numbering order. Under the control-packet MAC (the paper's proposal)
+// each turn opens with a broadcast control packet announcing
+// (DestWI, PktID, NumFlits) 3-tuples — at most one tuple per output VC —
+// after which exactly the announced flits are transmitted at the channel
+// rate; partial packets are permitted because the PktID demultiplexes flits
+// into the reserved VC at the receiver. Under the token MAC baseline [7]
+// only whole packets may be transmitted; a WI without a complete packet
+// buffered passes the token.
+func (fb *Fabric) launchExclusive(now sim.Cycle) {
+	fb.channel.Refill()
+
+	if fb.phase == phaseIdle {
+		fb.startTurn()
+	}
+
+	switch fb.phase {
+	case phaseControl:
+		// Every receiver listens to control broadcasts.
+		for _, w := range fb.wis {
+			w.awake = true
+		}
+		if fb.channel.TrySpend() {
+			fb.controlLeft--
+			if fb.controlLeft <= 0 {
+				if fb.announceLeft > 0 {
+					fb.phase = phaseData
+				} else {
+					fb.advanceTurn()
+				}
+			}
+		}
+	case phaseData:
+		src := fb.wis[fb.turn]
+		src.awake = true
+		for i := range fb.announceDests {
+			fb.wis[i].awake = true
+		}
+		if !fb.channel.CanSpend() {
+			return
+		}
+		switch fb.cfg.MAC {
+		case config.MACControlPacket:
+			fb.dataStepControlPacket(now, src)
+		case config.MACToken:
+			fb.dataStepToken(now, src)
+		}
+		if fb.announceLeft <= 0 {
+			fb.advanceTurn()
+		}
+	}
+}
+
+// startTurn begins the turn of fb.wis[fb.turn]: broadcast the control
+// packet (or pass the token) and reserve receive space for the announced
+// flits.
+func (fb *Fabric) startTurn() {
+	src := fb.wis[fb.turn]
+	fb.announceLeft = 0
+	for k := range fb.announceDests {
+		delete(fb.announceDests, k)
+	}
+	for q := range src.announced {
+		src.announced[q] = 0
+	}
+
+	switch fb.cfg.MAC {
+	case config.MACControlPacket:
+		fb.announceControlPacket(src)
+		fb.controlLeft = fb.cfg.ControlFlits
+		fb.ControlPackets++
+		// Control broadcast energy (protocol overhead, not packet-attributed).
+		fb.meter.AddDynamic(energy.ClassWireless,
+			fb.cfg.ControlFlits*fb.cfg.FlitBits,
+			fb.pjPerFlit*float64(fb.cfg.ControlFlits))
+		if fb.announceLeft == 0 {
+			fb.TokenPasses++
+		}
+	case config.MACToken:
+		fb.announceToken(src)
+		if fb.announceLeft == 0 {
+			// Token pass: one flit-time on the channel.
+			fb.controlLeft = 1
+			fb.TokenPasses++
+		} else {
+			fb.controlLeft = fb.cfg.ControlFlits
+			fb.ControlPackets++
+			fb.meter.AddDynamic(energy.ClassWireless,
+				fb.cfg.ControlFlits*fb.cfg.FlitBits,
+				fb.pjPerFlit*float64(fb.cfg.ControlFlits))
+		}
+	}
+	fb.phase = phaseControl
+}
+
+// announceControlPacket reserves receive space for the longest announceable
+// prefix of every TX queue, within the 3-tuple budget (one tuple per
+// distinct (destination, packet) pair, at most one per output VC).
+func (fb *Fabric) announceControlPacket(src *WI) {
+	tuples := make(map[uint64]bool, fb.cfg.VCs)
+	for q := range src.txVC {
+	queue:
+		for i := range src.txVC[q] {
+			e := &src.txVC[q][i]
+			f := e.f
+			if !tuples[f.Pkt.ID] && len(tuples) >= fb.cfg.VCs {
+				break // 3-tuple budget exhausted for this control packet
+			}
+			var vc int
+			if f.IsHead() {
+				vc = e.dest.allocRxVC(f.Pkt.ID)
+				if vc < 0 {
+					break queue // destination has no free VC
+				}
+			} else {
+				vc = e.dest.rxVCFor(f.Pkt.ID)
+				if vc < 0 {
+					panic(fmt.Sprintf("core: WI %d announcing body flit of pkt %d with no rx VC",
+						src.Index, f.Pkt.ID))
+				}
+			}
+			if e.dest.space[vc] <= 0 {
+				break queue // announce only what the receiver can hold
+			}
+			e.dest.space[vc]--
+			e.reserved = true
+			tuples[f.Pkt.ID] = true
+			fb.announceDests[e.dest.Index] = true
+			src.announced[q]++
+			fb.announceLeft++
+		}
+	}
+}
+
+// announceToken selects a TX queue holding one fully buffered packet at its
+// head (whole-packet constraint of the token MAC) and allocates its receive
+// VC. Receive buffer space is NOT reserved up front — the receiver drains
+// while the packet transmits, and the channel stalls when it cannot.
+func (fb *Fabric) announceToken(src *WI) {
+	for q := range src.txVC {
+		queue := src.txVC[q]
+		if len(queue) == 0 || !queue[0].f.IsHead() {
+			continue
+		}
+		p := queue[0].f.Pkt
+		run := 0
+		for _, e := range queue {
+			if e.f.Pkt.ID != p.ID {
+				break
+			}
+			run++
+		}
+		if run != p.NumFlits {
+			continue // not fully buffered yet
+		}
+		if queue[0].dest.allocRxVC(p.ID) < 0 {
+			continue // receiver VC exhausted; try another queue
+		}
+		fb.tokenPktID = p.ID
+		fb.tokenQueue = q
+		fb.announceLeft = p.NumFlits
+		fb.announceDests[queue[0].dest.Index] = true
+		return
+	}
+}
+
+// dataStepControlPacket transmits the next announced flit, round-robin over
+// the TX queues with announced flits remaining.
+func (fb *Fabric) dataStepControlPacket(now sim.Cycle, src *WI) {
+	nq := len(src.txVC)
+	for k := 0; k < nq; k++ {
+		q := (src.rrTx + k) % nq
+		if src.announced[q] == 0 {
+			continue
+		}
+		if len(src.txVC[q]) == 0 || !src.txVC[q][0].reserved {
+			panic(fmt.Sprintf("core: WI %d queue %d announced but head unreserved", src.Index, q))
+		}
+		if !fb.channel.TrySpend() {
+			return
+		}
+		if fb.transmit(now, src, q) {
+			src.announced[q]--
+			fb.announceLeft--
+		}
+		src.rrTx = (q + 1) % nq
+		return
+	}
+	// Defensive: nothing announced remains (should not happen).
+	fb.announceLeft = 0
+}
+
+// dataStepToken transmits the next flit of the granted whole packet,
+// stalling the held channel when the receiver buffer is full (the
+// inefficiency the control-packet MAC removes).
+func (fb *Fabric) dataStepToken(now sim.Cycle, src *WI) {
+	q := fb.tokenQueue
+	if len(src.txVC[q]) == 0 || src.txVC[q][0].f.Pkt.ID != fb.tokenPktID {
+		panic(fmt.Sprintf("core: WI %d token packet %d vanished from TX queue %d",
+			src.Index, fb.tokenPktID, q))
+	}
+	e := &src.txVC[q][0]
+	vc := e.dest.rxVCFor(e.f.Pkt.ID)
+	if vc < 0 {
+		panic(fmt.Sprintf("core: token packet %d lost its rx VC", e.f.Pkt.ID))
+	}
+	if !e.reserved {
+		if e.dest.space[vc] <= 0 {
+			return // receiver full: channel held idle (token MAC stall)
+		}
+		e.dest.space[vc]--
+		e.reserved = true
+	}
+	if !fb.channel.TrySpend() {
+		return
+	}
+	if fb.transmit(now, src, q) {
+		fb.announceLeft--
+	}
+}
+
+// advanceTurn hands the channel to the next WI in sequence.
+func (fb *Fabric) advanceTurn() {
+	fb.turn = (fb.turn + 1) % len(fb.wis)
+	fb.phase = phaseIdle
+	fb.announceLeft = 0
+}

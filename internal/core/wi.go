@@ -1,0 +1,169 @@
+// Package core implements the paper's primary contribution: the seamless
+// wireless interconnection fabric for multichip systems.
+//
+// Each wireless interface (WI) is a pair of extra ports on its host switch.
+// The transmit side has one queue per virtual channel (the paper gives
+// every port, "including those with the wireless transceivers", 8 VCs with
+// 16-flit buffers); flow control into the TX queues uses the ordinary
+// credit mechanism. The receive side allocates VCs by packet ID, exactly as
+// the control-packet MAC prescribes: the (DestWI, PktID, NumFlits) 3-tuples
+// — at most one per output VC — let a WI transmit *partial* packets while
+// the receiver demultiplexes flits into the correct VC, preserving wormhole
+// integrity.
+//
+// Two channel models are provided (DESIGN.md §5.1):
+//
+//   - ChannelCrossbar: every WI pair is a direct link; each WI transmits at
+//     most one flit per cycle and each WI receives at most one flit per
+//     cycle (round-robin ingress arbitration). This is the
+//     results-consistent model implied by the paper's reported bandwidth
+//     and latency.
+//   - ChannelExclusive: the literal PHY description — a single shared
+//     medium at the transceiver data rate, granted to one WI at a time by
+//     the MAC (control-packet protocol or whole-packet token baseline).
+//
+// Receivers are power-gated ("sleepy transceivers", after Mondal & Deb
+// [17]) whenever announced traffic is not addressed to them.
+package core
+
+import (
+	"fmt"
+
+	"wimc/internal/noc"
+	"wimc/internal/sim"
+)
+
+// WI is one wireless interface: transceiver, per-VC TX queues and
+// receive-side VC bookkeeping, attached to a host switch.
+type WI struct {
+	Index    int
+	SwitchID sim.SwitchID
+
+	fb *Fabric
+	sw *noc.Switch
+
+	outPort int // wireless output port on the host switch
+	inPort  int // wireless input port on the host switch
+
+	// Transmit side: one queue per output VC, each with txDepth capacity
+	// enforced by the host switch's output credits.
+	txVC    [][]txEntry
+	txDepth int
+	rrTx    int
+	egress  sim.TokenBucket
+
+	// Exclusive-MAC announcement state: flits announced per TX queue.
+	announced []int
+
+	// Receive side: per-VC state mirrored by the fabric (credit broadcasts
+	// piggyback on control packets, so every transmitter shares this view).
+	pktVC   map[uint64]int // PktID -> allocated input VC
+	vcInUse []bool
+	space   []int // free buffer slots per input VC, minus in-flight flits
+	rrSrc   int   // ingress round-robin pointer (crossbar mode)
+
+	// Statistics.
+	TxFlits     int64
+	RxFlits     int64
+	Retransmits int64
+	MaxTxDepth  int // peak total TX occupancy across queues
+	awake       bool
+}
+
+// txEntry is one flit queued in a transceiver TX queue with its resolved
+// destination WI.
+type txEntry struct {
+	f        noc.Flit
+	dest     *WI
+	reserved bool // receive space already taken (announce or retry)
+}
+
+// OutPort returns the wireless output port index on the host switch.
+func (w *WI) OutPort() int { return w.outPort }
+
+// InPort returns the wireless input port index on the host switch.
+func (w *WI) InPort() int { return w.inPort }
+
+// TxLen returns the total TX occupancy across queues (test hook).
+func (w *WI) TxLen() int {
+	n := 0
+	for _, q := range w.txVC {
+		n += len(q)
+	}
+	return n
+}
+
+// CanAccept implements noc.Conduit. Per-VC space is enforced by the host
+// switch's output-port credits (initialized to the TX queue depth), so the
+// conduit itself never refuses.
+func (w *WI) CanAccept(sim.Cycle) bool { return true }
+
+// Accept implements noc.Conduit: a flit enters the TX queue of its output
+// VC. The next-hop switch chosen by routing identifies the destination WI.
+func (w *WI) Accept(_ sim.Cycle, f noc.Flit, next sim.SwitchID) {
+	dest, ok := w.fb.wiOf[next]
+	if !ok {
+		panic(fmt.Sprintf("core: WI %d asked to transmit to switch %d which has no WI", w.Index, next))
+	}
+	if dest == w {
+		panic(fmt.Sprintf("core: WI %d asked to transmit to itself", w.Index))
+	}
+	q := int(f.VC)
+	if len(w.txVC[q]) >= w.txDepth {
+		panic(fmt.Sprintf("core: WI %d TX queue %d overflow: output credits violated", w.Index, q))
+	}
+	w.txVC[q] = append(w.txVC[q], txEntry{f: f, dest: dest})
+	if n := w.TxLen(); n > w.MaxTxDepth {
+		w.MaxTxDepth = n
+	}
+}
+
+// popTx removes the head of TX queue q and returns one credit to the host
+// switch's wireless output port.
+func (w *WI) popTx(q int) txEntry {
+	e := w.txVC[q][0]
+	w.txVC[q] = w.txVC[q][1:]
+	w.sw.ReturnCredit(w.outPort, q)
+	return e
+}
+
+// ReturnCredit implements noc.CreditSink for the wireless input port: the
+// host switch freed one buffer slot of VC vc.
+func (w *WI) ReturnCredit(_ sim.Cycle, vc int) { w.space[vc]++ }
+
+// allocRxVC finds (or reuses) the receive VC for a packet head, reserving
+// it until the tail is transmitted. It returns -1 when no VC is free.
+func (w *WI) allocRxVC(pktID uint64) int {
+	if vc, ok := w.pktVC[pktID]; ok {
+		return vc
+	}
+	for vc, used := range w.vcInUse {
+		if !used {
+			w.vcInUse[vc] = true
+			w.pktVC[pktID] = vc
+			return vc
+		}
+	}
+	return -1
+}
+
+// rxVCFor returns the VC allocated for a packet's flits, or -1.
+func (w *WI) rxVCFor(pktID uint64) int {
+	if vc, ok := w.pktVC[pktID]; ok {
+		return vc
+	}
+	return -1
+}
+
+// releaseRxVC frees the VC mapping after the packet's tail is transmitted.
+func (w *WI) releaseRxVC(pktID uint64) {
+	if vc, ok := w.pktVC[pktID]; ok {
+		w.vcInUse[vc] = false
+		delete(w.pktVC, pktID)
+	}
+}
+
+var (
+	_ noc.Conduit    = (*WI)(nil)
+	_ noc.CreditSink = (*WI)(nil)
+)

@@ -1,0 +1,137 @@
+// Package energy implements the energy-accounting model of the wimc
+// simulator. Dynamic energy is charged per flit-event (switch traversal,
+// link traversal, wireless transmission) using per-bit constants from the
+// configuration; static energy integrates component leakage/idle power over
+// simulated time. All values are tracked in picojoules.
+package energy
+
+import "fmt"
+
+// Class identifies an energy-consuming component class.
+type Class int
+
+// Component classes. Link classes mirror the physical link kinds of the
+// multichip package.
+const (
+	ClassSwitch Class = iota + 1
+	ClassLinkMesh
+	ClassLinkInterposer
+	ClassLinkSerial
+	ClassLinkWideIO
+	ClassLinkTSV
+	ClassLinkLocal
+	ClassWireless
+	numClasses
+)
+
+var _classNames = map[Class]string{
+	ClassSwitch:         "switch",
+	ClassLinkMesh:       "mesh-link",
+	ClassLinkInterposer: "interposer-link",
+	ClassLinkSerial:     "serial-io",
+	ClassLinkWideIO:     "wide-io",
+	ClassLinkTSV:        "tsv",
+	ClassLinkLocal:      "local-ni",
+	ClassWireless:       "wireless",
+}
+
+// String returns the human-readable class name.
+func (c Class) String() string {
+	if s, ok := _classNames[c]; ok {
+		return s
+	}
+	return fmt.Sprintf("class(%d)", int(c))
+}
+
+// Classes lists every component class in display order.
+func Classes() []Class {
+	out := make([]Class, 0, numClasses-1)
+	for c := ClassSwitch; c < numClasses; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Meter accumulates dynamic and static energy for one simulation.
+// The zero value is not ready for use; construct with NewMeter.
+type Meter struct {
+	clockGHz  float64
+	dynamicPJ [numClasses]float64
+	staticPJ  float64
+	bits      [numClasses]int64
+}
+
+// NewMeter returns a Meter for a simulation clocked at clockGHz.
+func NewMeter(clockGHz float64) (*Meter, error) {
+	if clockGHz <= 0 {
+		return nil, fmt.Errorf("energy: clock must be positive, got %v GHz", clockGHz)
+	}
+	return &Meter{clockGHz: clockGHz}, nil
+}
+
+// CycleNS returns the duration of one cycle in nanoseconds.
+func (m *Meter) CycleNS() float64 { return 1.0 / m.clockGHz }
+
+// AddDynamic charges pj picojoules of dynamic energy to class c for the
+// transfer of bits payload bits. It returns the charged energy so callers
+// can attribute it to a packet as well.
+func (m *Meter) AddDynamic(c Class, bits int, pj float64) float64 {
+	if c <= 0 || c >= numClasses {
+		return 0
+	}
+	m.dynamicPJ[c] += pj
+	m.bits[c] += int64(bits)
+	return pj
+}
+
+// AddStaticMWCycles integrates a static power draw of powerMW milliwatts
+// over the given number of cycles. 1 mW sustained for 1 ns is exactly 1 pJ.
+func (m *Meter) AddStaticMWCycles(powerMW float64, cycles int64) {
+	m.staticPJ += powerMW * float64(cycles) * m.CycleNS()
+}
+
+// DynamicPJ returns total dynamic energy charged to class c.
+func (m *Meter) DynamicPJ(c Class) float64 {
+	if c <= 0 || c >= numClasses {
+		return 0
+	}
+	return m.dynamicPJ[c]
+}
+
+// Bits returns the payload bits transferred by class c.
+func (m *Meter) Bits(c Class) int64 {
+	if c <= 0 || c >= numClasses {
+		return 0
+	}
+	return m.bits[c]
+}
+
+// TotalDynamicPJ returns dynamic energy summed over all classes.
+func (m *Meter) TotalDynamicPJ() float64 {
+	var t float64
+	for c := ClassSwitch; c < numClasses; c++ {
+		t += m.dynamicPJ[c]
+	}
+	return t
+}
+
+// StaticPJ returns the integrated static energy.
+func (m *Meter) StaticPJ() float64 { return m.staticPJ }
+
+// TotalPJ returns total (dynamic + static) energy.
+func (m *Meter) TotalPJ() float64 { return m.TotalDynamicPJ() + m.staticPJ }
+
+// Breakdown returns a copy of the per-class dynamic totals keyed by class
+// name, for reporting.
+func (m *Meter) Breakdown() map[string]float64 {
+	out := make(map[string]float64, numClasses)
+	for c := ClassSwitch; c < numClasses; c++ {
+		if m.dynamicPJ[c] != 0 {
+			out[c.String()] = m.dynamicPJ[c]
+		}
+	}
+	if m.staticPJ != 0 {
+		out["static"] = m.staticPJ
+	}
+	return out
+}

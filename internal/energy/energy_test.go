@@ -1,0 +1,107 @@
+package energy
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNewMeterRejectsBadClock(t *testing.T) {
+	if _, err := NewMeter(0); err == nil {
+		t.Fatal("zero clock accepted")
+	}
+	if _, err := NewMeter(-1); err == nil {
+		t.Fatal("negative clock accepted")
+	}
+}
+
+func TestCycleNS(t *testing.T) {
+	m, err := NewMeter(2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := m.CycleNS(); math.Abs(got-0.4) > 1e-12 {
+		t.Fatalf("2.5 GHz cycle = %v ns, want 0.4", got)
+	}
+}
+
+func TestDynamicAccounting(t *testing.T) {
+	m, _ := NewMeter(2.5)
+	if pj := m.AddDynamic(ClassSwitch, 32, 70.4); pj != 70.4 {
+		t.Fatalf("AddDynamic returned %v, want 70.4", pj)
+	}
+	m.AddDynamic(ClassSwitch, 32, 70.4)
+	m.AddDynamic(ClassWireless, 32, 73.6)
+	if got := m.DynamicPJ(ClassSwitch); math.Abs(got-140.8) > 1e-9 {
+		t.Fatalf("switch dynamic = %v, want 140.8", got)
+	}
+	if got := m.Bits(ClassSwitch); got != 64 {
+		t.Fatalf("switch bits = %v, want 64", got)
+	}
+	if got := m.TotalDynamicPJ(); math.Abs(got-214.4) > 1e-9 {
+		t.Fatalf("total dynamic = %v, want 214.4", got)
+	}
+}
+
+func TestInvalidClassIgnored(t *testing.T) {
+	m, _ := NewMeter(2.5)
+	if pj := m.AddDynamic(Class(0), 32, 10); pj != 0 {
+		t.Fatalf("invalid class charged %v pJ", pj)
+	}
+	if pj := m.AddDynamic(Class(999), 32, 10); pj != 0 {
+		t.Fatalf("invalid class charged %v pJ", pj)
+	}
+	if m.TotalDynamicPJ() != 0 {
+		t.Fatal("invalid classes leaked into totals")
+	}
+	if m.DynamicPJ(Class(999)) != 0 || m.Bits(Class(0)) != 0 {
+		t.Fatal("invalid class reads nonzero")
+	}
+}
+
+func TestStaticIntegration(t *testing.T) {
+	// 1 mW for 1 ns is exactly 1 pJ: at 2.5 GHz, 2.5 cycles per ns.
+	m, _ := NewMeter(2.5)
+	m.AddStaticMWCycles(1.0, 2500) // 1 mW for 1 µs = 1000 pJ
+	if got := m.StaticPJ(); math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("static = %v pJ, want 1000", got)
+	}
+	if got := m.TotalPJ(); math.Abs(got-1000) > 1e-9 {
+		t.Fatalf("total = %v pJ, want 1000", got)
+	}
+}
+
+func TestBreakdown(t *testing.T) {
+	m, _ := NewMeter(1)
+	m.AddDynamic(ClassLinkSerial, 32, 160)
+	m.AddStaticMWCycles(2, 500)
+	b := m.Breakdown()
+	if b["serial-io"] != 160 {
+		t.Fatalf("breakdown serial-io = %v, want 160", b["serial-io"])
+	}
+	if b["static"] != 1000 {
+		t.Fatalf("breakdown static = %v, want 1000", b["static"])
+	}
+	if _, ok := b["switch"]; ok {
+		t.Fatal("breakdown contains zero-valued class")
+	}
+}
+
+func TestClassNames(t *testing.T) {
+	for _, c := range Classes() {
+		if c.String() == "" {
+			t.Fatalf("class %d has empty name", c)
+		}
+	}
+	if ClassWireless.String() != "wireless" {
+		t.Fatalf("wireless class name = %q", ClassWireless.String())
+	}
+	if Class(99).String() != "class(99)" {
+		t.Fatalf("unknown class name = %q", Class(99).String())
+	}
+}
+
+func TestClassesCoverAll(t *testing.T) {
+	if len(Classes()) != int(numClasses)-1 {
+		t.Fatalf("Classes() returned %d entries, want %d", len(Classes()), numClasses-1)
+	}
+}

@@ -1,0 +1,333 @@
+// Package engine assembles a complete multichip system — topology, routing
+// tables, switches, links, endpoints, the wireless fabric and a traffic
+// source — and drives the cycle-accurate simulation loop.
+package engine
+
+import (
+	"fmt"
+	"io"
+
+	"wimc/internal/config"
+	"wimc/internal/core"
+	"wimc/internal/energy"
+	"wimc/internal/noc"
+	"wimc/internal/route"
+	"wimc/internal/sim"
+	"wimc/internal/stats"
+	"wimc/internal/topo"
+	"wimc/internal/traffic"
+)
+
+// TrafficKind selects the workload generator.
+type TrafficKind string
+
+// Supported workload kinds.
+const (
+	TrafficUniform       TrafficKind = "uniform"
+	TrafficHotspot       TrafficKind = "hotspot"
+	TrafficTranspose     TrafficKind = "transpose"
+	TrafficBitComplement TrafficKind = "bit-complement"
+	TrafficApp           TrafficKind = "app"
+)
+
+// TrafficSpec parameterizes the workload.
+type TrafficSpec struct {
+	Kind            TrafficKind `json:"kind"`
+	Rate            float64     `json:"rate"`         // packets/core/cycle (1.0 = saturation load)
+	MemFraction     float64     `json:"mem_fraction"` // memory-access probability
+	HotspotFraction float64     `json:"hotspot_fraction"`
+	HotspotCore     int         `json:"hotspot_core"`
+	App             string      `json:"app"`          // application name for TrafficApp
+	PacketFlits     int         `json:"packet_flits"` // 0 = configuration default
+	// MemReadFraction makes this share of memory packets read requests:
+	// the DRAM channel answers each with a MemReplyFlits data packet after
+	// MemServiceCycles (uniform traffic only).
+	MemReadFraction float64 `json:"mem_read_fraction"`
+}
+
+// Params bundles everything needed to run one simulation.
+type Params struct {
+	Cfg               config.Config
+	Traffic           TrafficSpec
+	SkipDeadlockCheck bool // skip the CDG verification (it runs once per build)
+	// Trace, when non-nil, receives one JSON line per delivered packet
+	// (id, endpoints, class, timing, hops, energy) — a packet-level trace
+	// for debugging and external analysis.
+	Trace io.Writer
+}
+
+// Engine is an assembled simulation ready to run.
+type Engine struct {
+	cfg    config.Config
+	graph  *topo.Graph
+	tables *route.Tables
+	meter  *energy.Meter
+	coll   *stats.Collector
+	rng    *sim.Rand
+
+	switches  []*noc.Switch
+	links     []*noc.Link
+	endpoints []*noc.Endpoint
+	fabric    *core.Fabric
+
+	source   traffic.Source
+	world    traffic.World
+	pktFlits int
+	nextPkt  uint64
+	now      sim.Cycle
+
+	genStop sim.Cycle // cycle after which traffic generation ceases
+
+	// Pending DRAM read replies, ordered by ready time.
+	replies []pendingReply
+
+	trace    io.Writer
+	traceErr error
+}
+
+// pendingReply is a DRAM data response awaiting issue.
+type pendingReply struct {
+	readyAt sim.Cycle
+	request *noc.Packet
+}
+
+// New builds an engine from the parameters.
+func New(p Params) (*Engine, error) {
+	cfg := p.Cfg
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	g, err := topo.Build(cfg)
+	if err != nil {
+		return nil, err
+	}
+	tables, err := route.Build(g)
+	if err != nil {
+		return nil, err
+	}
+	if !p.SkipDeadlockCheck {
+		if err := route.CheckDeadlockFree(g, tables); err != nil {
+			return nil, fmt.Errorf("engine: %w", err)
+		}
+	}
+	meter, err := energy.NewMeter(cfg.ClockGHz)
+	if err != nil {
+		return nil, err
+	}
+	e := &Engine{
+		cfg:    cfg,
+		graph:  g,
+		tables: tables,
+		meter:  meter,
+		rng:    sim.NewRand(cfg.Seed),
+		trace:  p.Trace,
+	}
+	e.coll = stats.NewCollector(cfg.WarmupCycles, cfg.WarmupCycles+cfg.MeasureCycles, cfg.FlitBits)
+	e.genStop = cfg.WarmupCycles + cfg.MeasureCycles
+	if err := e.build(); err != nil {
+		return nil, err
+	}
+	if err := e.buildTraffic(p.Traffic); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// build instantiates switches, links, endpoints, the wireless fabric and
+// forwarding tables from the topology graph.
+func (e *Engine) build() error {
+	cfg := e.cfg
+	g := e.graph
+
+	// Switches. Wireless topologies partition VCs into pre/post-wireless
+	// classes to keep shortcut routing deadlock-free.
+	e.switches = make([]*noc.Switch, g.SwitchCount())
+	for i, n := range g.Nodes {
+		sw := noc.NewSwitch(n.ID, cfg.VCs, cfg.BufferDepth,
+			cfg.FlitBits, cfg.SwitchPJPerBit, e.meter)
+		sw.SetPhaseSplit(g.HasWireless(), cfg.PostWirelessVCs)
+		e.switches[i] = sw
+	}
+
+	// Wired links: two directed links per topology edge.
+	outToward := make(map[sim.SwitchID]map[sim.SwitchID]int, g.SwitchCount())
+	for i := range e.switches {
+		outToward[sim.SwitchID(i)] = make(map[sim.SwitchID]int, 5)
+	}
+	addDirected := func(a, b sim.SwitchID, ed topo.Edge) {
+		l := noc.NewLink(classOf(ed.Kind), ed.Latency, ed.Rate, ed.PJPerBit,
+			cfg.FlitBits, e.meter)
+		src, dst := e.switches[a], e.switches[b]
+		outP := src.AddOutputPort(l, cfg.BufferDepth)
+		inP := dst.AddInputPort(l)
+		l.Connect(src, outP, dst, inP)
+		outToward[a][b] = outP
+		e.links = append(e.links, l)
+	}
+	for _, ed := range g.Edges {
+		addDirected(ed.A, ed.B, ed)
+		addDirected(ed.B, ed.A, ed)
+	}
+
+	// Wireless fabric.
+	wiOutPort := make(map[sim.SwitchID]int, len(g.WISwitches))
+	if g.HasWireless() {
+		e.fabric = core.NewFabric(cfg, e.meter, e.rng.Derive("wireless"))
+		for _, swID := range g.WISwitches {
+			w := e.fabric.AddWI(e.switches[swID])
+			wiOutPort[swID] = w.OutPort()
+		}
+	}
+
+	// Endpoints. Read requests reaching a DRAM channel schedule a data
+	// reply after the service latency.
+	delivered := func(now sim.Cycle, p *noc.Packet) {
+		e.coll.OnDelivered(now, p)
+		if p.Read && p.Class == noc.ClassCoreToMem {
+			e.replies = append(e.replies, pendingReply{
+				readyAt: now + sim.Cycle(e.cfg.MemServiceCycles),
+				request: p,
+			})
+		}
+		if e.trace != nil {
+			e.tracePacket(p)
+		}
+	}
+	e.endpoints = make([]*noc.Endpoint, g.EndpointCount())
+	localOut := make([]int, g.EndpointCount())
+	for i, ep := range g.Endpoints {
+		sw := e.switches[ep.Switch]
+		inP := sw.AddInputPort(nil)
+		outP := sw.AddOutputPort(nil, cfg.BufferDepth)
+		cl := energy.ClassLinkLocal
+		if ep.Kind == topo.EndMemChannel {
+			cl = energy.ClassLinkTSV
+		}
+		ne := noc.NewEndpoint(ep.ID, sw, inP, outP, ep.LocalLatency, ep.LocalPJPerBit,
+			cl, cfg.FlitBits, cfg.InjectionQueue, delivered, e.meter)
+		sw.SetInputCredit(inP, ne)
+		sw.SetOutputConduit(outP, ne)
+		e.endpoints[i] = ne
+		localOut[i] = outP
+	}
+
+	// Forwarding tables (endpoint granularity).
+	for sIdx, sw := range e.switches {
+		s := sim.SwitchID(sIdx)
+		fwd := make([]noc.PortHop, g.EndpointCount())
+		for eIdx, ep := range g.Endpoints {
+			if ep.Switch == s {
+				fwd[eIdx] = noc.PortHop{Port: int16(localOut[eIdx]), Next: sim.NoSwitch}
+				continue
+			}
+			next := e.tables.Next[s][ep.Switch]
+			if next == sim.NoSwitch {
+				return fmt.Errorf("engine: no route from switch %d to endpoint %d", s, ep.ID)
+			}
+			if p, ok := outToward[s][next]; ok {
+				fwd[eIdx] = noc.PortHop{Port: int16(p), Next: next}
+			} else if e.tables.IsWireless(s, next) {
+				p, ok := wiOutPort[s]
+				if !ok {
+					return fmt.Errorf("engine: switch %d routed onto wireless but has no WI", s)
+				}
+				fwd[eIdx] = noc.PortHop{Port: int16(p), Next: next}
+			} else {
+				return fmt.Errorf("engine: switch %d has no port toward %d", s, next)
+			}
+		}
+		sw.SetForwarding(fwd)
+	}
+
+	// Traffic world.
+	e.world = traffic.World{
+		Chips:      cfg.Chips(),
+		GlobalCols: cfg.ChipsX * cfg.CoresX,
+		GlobalRows: cfg.ChipsY * cfg.CoresY,
+	}
+	for _, id := range g.Cores {
+		ep := g.Endpoints[id]
+		node := g.Nodes[ep.Switch]
+		e.world.Cores = append(e.world.Cores, id)
+		e.world.ChipOfCore = append(e.world.ChipOfCore, ep.Chip)
+		e.world.CoreGX = append(e.world.CoreGX, node.GX)
+		e.world.CoreGY = append(e.world.CoreGY, node.GY)
+	}
+	e.world.MemChannels = append(e.world.MemChannels, g.MemChannels...)
+	return nil
+}
+
+// classOf maps topology edge kinds to energy classes.
+func classOf(k topo.EdgeKind) energy.Class {
+	switch k {
+	case topo.EdgeMesh:
+		return energy.ClassLinkMesh
+	case topo.EdgeInterposer:
+		return energy.ClassLinkInterposer
+	case topo.EdgeSerial:
+		return energy.ClassLinkSerial
+	case topo.EdgeWideIO:
+		return energy.ClassLinkWideIO
+	default:
+		return energy.ClassLinkMesh
+	}
+}
+
+// buildTraffic constructs the workload source.
+func (e *Engine) buildTraffic(ts TrafficSpec) error {
+	e.pktFlits = ts.PacketFlits
+	if e.pktFlits <= 0 {
+		e.pktFlits = e.cfg.PacketFlits
+	}
+	rng := e.rng.Derive("traffic")
+	var (
+		src traffic.Source
+		err error
+	)
+	switch ts.Kind {
+	case TrafficUniform, "":
+		var u *traffic.Uniform
+		u, err = traffic.NewUniform(e.world, ts.Rate, ts.MemFraction, e.pktFlits, rng)
+		if err == nil && ts.MemReadFraction > 0 {
+			err = u.SetReads(ts.MemReadFraction, e.cfg.MemRequestFlits)
+		}
+		src = u
+	case TrafficHotspot:
+		src, err = traffic.NewHotspot(e.world, ts.Rate, ts.MemFraction,
+			ts.HotspotFraction, ts.HotspotCore, e.pktFlits, rng)
+	case TrafficTranspose:
+		src, err = traffic.NewTranspose(e.world, ts.Rate, e.pktFlits, rng)
+	case TrafficBitComplement:
+		src, err = traffic.NewBitComplement(e.world, ts.Rate, e.pktFlits, rng)
+	case TrafficApp:
+		src, err = traffic.NewApp(ts.App, e.world, rng)
+	default:
+		err = fmt.Errorf("engine: unknown traffic kind %q", ts.Kind)
+	}
+	if err != nil {
+		return err
+	}
+	e.source = src
+	return nil
+}
+
+// Graph exposes the topology (inspection/tests).
+func (e *Engine) Graph() *topo.Graph { return e.graph }
+
+// Tables exposes the routing tables (inspection/tests).
+func (e *Engine) Tables() *route.Tables { return e.tables }
+
+// Fabric exposes the wireless fabric, nil for wired architectures.
+func (e *Engine) Fabric() *core.Fabric { return e.fabric }
+
+// Endpoints exposes the network interfaces (tests).
+func (e *Engine) Endpoints() []*noc.Endpoint { return e.endpoints }
+
+// Switches exposes the switches (tests).
+func (e *Engine) Switches() []*noc.Switch { return e.switches }
+
+// Collector exposes the statistics collector (tests).
+func (e *Engine) Collector() *stats.Collector { return e.coll }
+
+// Meter exposes the energy meter (tests).
+func (e *Engine) Meter() *energy.Meter { return e.meter }

@@ -1,0 +1,59 @@
+package engine
+
+import (
+	"testing"
+
+	"wimc/internal/config"
+)
+
+// testParams returns a small, fast parameter set for the given architecture.
+func testParams(t *testing.T, chips int, arch config.Architecture) Params {
+	t.Helper()
+	cfg, err := config.XCYM(chips, 4, arch)
+	if err != nil {
+		t.Fatalf("XCYM: %v", err)
+	}
+	cfg.WarmupCycles = 200
+	cfg.MeasureCycles = 1800
+	return Params{
+		Cfg: cfg,
+		Traffic: TrafficSpec{
+			Kind:        TrafficUniform,
+			Rate:        0.002,
+			MemFraction: 0.2,
+		},
+	}
+}
+
+func TestRunDeliversPacketsAllArchitectures(t *testing.T) {
+	for _, arch := range []config.Architecture{
+		config.ArchSubstrate, config.ArchInterposer, config.ArchWireless,
+	} {
+		arch := arch
+		t.Run(string(arch), func(t *testing.T) {
+			e, err := New(testParams(t, 4, arch))
+			if err != nil {
+				t.Fatalf("New: %v", err)
+			}
+			r, err := e.Run()
+			if err != nil {
+				t.Fatalf("Run: %v", err)
+			}
+			if r.DeliveredPackets == 0 {
+				t.Fatalf("no packets delivered: %+v", r)
+			}
+			if r.MeasuredPackets == 0 {
+				t.Fatalf("no packets measured: %+v", r)
+			}
+			if r.AvgLatency <= 0 {
+				t.Fatalf("nonpositive latency: %v", r.AvgLatency)
+			}
+			if err := e.CheckFlitConservation(); err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s: delivered=%d lat=%.1f bw/core=%.3f Gbps energy=%.1f nJ hops=%.2f",
+				arch, r.DeliveredPackets, r.AvgLatency, r.BandwidthPerCoreGbps,
+				r.AvgPacketEnergyNJ, r.AvgHops)
+		})
+	}
+}

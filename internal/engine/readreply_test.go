@@ -1,0 +1,95 @@
+package engine
+
+import (
+	"testing"
+
+	"wimc/internal/config"
+)
+
+func TestReadRepliesRoundTrip(t *testing.T) {
+	cfg := quickCfg(4, config.ArchWireless)
+	cfg.DrainCycles = 30000
+	e, err := New(Params{Cfg: cfg, Traffic: TrafficSpec{
+		Kind:            TrafficUniform,
+		Rate:            0.0005,
+		MemFraction:     0.5,
+		MemReadFraction: 1.0,
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MemReplies == 0 {
+		t.Fatal("no read replies delivered")
+	}
+	if r.AvgReadRoundTrip <= float64(cfg.MemServiceCycles) {
+		t.Fatalf("round trip %v cycles cannot be below the service latency %d",
+			r.AvgReadRoundTrip, cfg.MemServiceCycles)
+	}
+	// Round trip must exceed the one-way latency plus service time.
+	if r.AvgReadRoundTrip <= r.AvgLatency {
+		t.Fatalf("round trip %v <= one-way latency %v", r.AvgReadRoundTrip, r.AvgLatency)
+	}
+	if err := e.CheckFlitConservation(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadRepliesAcrossArchitectures(t *testing.T) {
+	for _, arch := range []config.Architecture{
+		config.ArchSubstrate, config.ArchInterposer, config.ArchHybrid,
+	} {
+		cfg := quickCfg(4, arch)
+		r := mustRun(t, Params{Cfg: cfg, Traffic: TrafficSpec{
+			Kind:            TrafficUniform,
+			Rate:            0.0005,
+			MemFraction:     0.5,
+			MemReadFraction: 0.5,
+		}})
+		if r.MemReplies == 0 {
+			t.Fatalf("%s: no replies", arch)
+		}
+	}
+}
+
+func TestNoRepliesWithoutReads(t *testing.T) {
+	r := mustRun(t, Params{Cfg: quickCfg(4, config.ArchWireless), Traffic: TrafficSpec{
+		Kind:        TrafficUniform,
+		Rate:        0.001,
+		MemFraction: 0.5,
+	}})
+	if r.MemReplies != 0 {
+		t.Fatalf("replies generated without reads: %d", r.MemReplies)
+	}
+}
+
+func TestHybridEndToEnd(t *testing.T) {
+	r := mustRun(t, Params{Cfg: quickCfg(4, config.ArchHybrid), Traffic: TrafficSpec{
+		Kind: TrafficUniform, Rate: 0.002, MemFraction: 0.2,
+	}})
+	if r.DeliveredPackets == 0 {
+		t.Fatal("hybrid delivered nothing")
+	}
+	// The hybrid carries both wired and wireless traffic.
+	if r.EnergyBreakdown["interposer-link"] <= 0 {
+		t.Fatal("hybrid used no interposer links")
+	}
+	if r.EnergyBreakdown["wireless"] <= 0 {
+		t.Fatal("hybrid used no wireless links")
+	}
+}
+
+func TestHybridBeatsBothParentsAtSaturation(t *testing.T) {
+	tr := TrafficSpec{Kind: TrafficUniform, Rate: 1.0, MemFraction: 0.2}
+	rh := mustRun(t, Params{Cfg: quickCfg(4, config.ArchHybrid), Traffic: tr})
+	ri := mustRun(t, Params{Cfg: quickCfg(4, config.ArchInterposer), Traffic: tr})
+	rw := mustRun(t, Params{Cfg: quickCfg(4, config.ArchWireless), Traffic: tr})
+	if rh.BandwidthPerCoreGbps <= ri.BandwidthPerCoreGbps ||
+		rh.BandwidthPerCoreGbps <= rw.BandwidthPerCoreGbps {
+		t.Fatalf("hybrid bw %.3f not above parents %.3f / %.3f",
+			rh.BandwidthPerCoreGbps, ri.BandwidthPerCoreGbps, rw.BandwidthPerCoreGbps)
+	}
+}

@@ -1,0 +1,336 @@
+package engine
+
+import (
+	"fmt"
+
+	"wimc/internal/energy"
+	"wimc/internal/noc"
+	"wimc/internal/sim"
+)
+
+// Result summarizes one simulation run.
+type Result struct {
+	Name   string `json:"name"`
+	Cycles int64  `json:"cycles"`
+	Cores  int    `json:"cores"`
+
+	// Delivery accounting.
+	GeneratedPackets int64 `json:"generated_packets"`
+	RefusedPackets   int64 `json:"refused_packets"`
+	InjectedPackets  int64 `json:"injected_packets"`
+	DeliveredPackets int64 `json:"delivered_packets"`
+	MeasuredPackets  int64 `json:"measured_packets"`
+
+	// Latency (cycles; packets created after warmup, delivered in-window).
+	AvgLatency      float64   `json:"avg_latency_cycles"`
+	AvgNetLatency   float64   `json:"avg_net_latency_cycles"`
+	AvgQueueLatency float64   `json:"avg_queue_latency_cycles"`
+	P99Latency      sim.Cycle `json:"p99_latency_cycles"`
+	MaxLatency      sim.Cycle `json:"max_latency_cycles"`
+	AvgHops         float64   `json:"avg_hops"`
+	// AvgDeliveredLatency covers every packet delivered in the window
+	// regardless of creation time (the usable sample under saturation).
+	AvgDeliveredLatency float64 `json:"avg_delivered_latency_cycles"`
+	AvgDeliveredHops    float64 `json:"avg_delivered_hops"`
+
+	// Throughput over the measurement window.
+	WindowBits           int64   `json:"window_bits"`
+	BandwidthPerCoreGbps float64 `json:"bandwidth_per_core_gbps"`
+	AcceptedFlitsPerCore float64 `json:"accepted_flits_per_core_per_cycle"`
+
+	// Memory read transactions (when the workload issues reads).
+	MemReplies       int64   `json:"mem_replies"`
+	AvgReadRoundTrip float64 `json:"avg_read_round_trip_cycles"`
+
+	// Energy.
+	AvgPacketEnergyNJ float64            `json:"avg_packet_energy_nj"`
+	DynamicPJ         float64            `json:"dynamic_pj"`
+	StaticPJ          float64            `json:"static_pj"`
+	EnergyBreakdown   map[string]float64 `json:"energy_breakdown_pj"`
+
+	// LinkUtilization maps each link technology to its mean utilization
+	// over the whole run: flits carried / (links × cycles). A class near
+	// 1.0 is the saturating resource.
+	LinkUtilization map[string]float64 `json:"link_utilization"`
+
+	// Wireless protocol counters (zero for wired architectures).
+	ControlPackets  int64   `json:"control_packets"`
+	TokenPasses     int64   `json:"token_passes"`
+	Retransmits     int64   `json:"retransmits"`
+	WIMaxTxDepth    int     `json:"wi_max_tx_depth"`
+	WIAwakeFraction float64 `json:"wi_awake_fraction"`
+	WIStaticPJ      float64 `json:"wi_static_pj"`
+}
+
+// Run executes the configured warmup + measurement (+ drain) windows and
+// returns the results.
+func (e *Engine) Run() (*Result, error) {
+	total := e.cfg.WarmupCycles + e.cfg.MeasureCycles + e.cfg.DrainCycles
+	for ; e.now < total; e.now++ {
+		e.step()
+	}
+	if e.traceErr != nil {
+		return nil, e.traceErr
+	}
+	return e.results()
+}
+
+// step advances the system by one cycle. Phase order (DESIGN.md):
+// wireless launch → link refill → SA/ST → VA → RC → link/wireless delivery
+// → endpoint NI tick → traffic generation.
+func (e *Engine) step() {
+	now := e.now
+	if e.fabric != nil {
+		e.fabric.Launch(now)
+	}
+	for _, l := range e.links {
+		l.Refill()
+	}
+	for _, s := range e.switches {
+		s.TickSAST(now)
+	}
+	for _, s := range e.switches {
+		s.TickVA(now)
+	}
+	for _, s := range e.switches {
+		s.TickRC(now)
+	}
+	for _, l := range e.links {
+		l.Deliver(now)
+	}
+	if e.fabric != nil {
+		e.fabric.Deliver(now)
+	}
+	for _, ep := range e.endpoints {
+		ep.Tick(now)
+	}
+	e.issueReplies(now)
+	if now < e.genStop {
+		e.generate(now)
+	}
+}
+
+// issueReplies offers due DRAM read replies to their channel NIs, retrying
+// next cycle when a source queue is full.
+func (e *Engine) issueReplies(now sim.Cycle) {
+	kept := e.replies[:0]
+	for _, pr := range e.replies {
+		if pr.readyAt > now {
+			kept = append(kept, pr)
+			continue
+		}
+		req := pr.request
+		e.nextPkt++
+		reply := &noc.Packet{
+			ID:               e.nextPkt,
+			Src:              req.Dst,
+			Dst:              req.Src,
+			NumFlits:         e.cfg.MemReplyFlits,
+			Class:            noc.ClassMemReply,
+			CreatedAt:        now,
+			RequestCreatedAt: req.CreatedAt,
+			ReplyFor:         req.ID,
+		}
+		if !e.endpoints[req.Dst].Offer(reply) {
+			e.nextPkt-- // channel queue full: retry next cycle
+			kept = append(kept, pr)
+		}
+	}
+	e.replies = kept
+}
+
+// generate polls the traffic source for every core.
+func (e *Engine) generate(now sim.Cycle) {
+	for i, coreID := range e.world.Cores {
+		g, ok := e.source.NextFor(now, i)
+		if !ok {
+			continue
+		}
+		e.nextPkt++
+		cl := noc.ClassCoreToCore
+		if g.Mem {
+			cl = noc.ClassCoreToMem
+		}
+		p := &noc.Packet{
+			ID:        e.nextPkt,
+			Src:       coreID,
+			Dst:       g.Dst,
+			NumFlits:  g.Flits,
+			Class:     cl,
+			CreatedAt: now,
+			Read:      g.Read,
+		}
+		e.endpoints[coreID].Offer(p)
+	}
+}
+
+// results finalizes static energy and assembles the Result.
+func (e *Engine) results() (*Result, error) {
+	cfg := e.cfg
+	coll := e.coll
+	window := cfg.MeasureCycles
+
+	// Static energy over the measurement window.
+	e.meter.AddStaticMWCycles(cfg.SwitchStaticMW*float64(len(e.switches)), window)
+	awakeFrac := 0.0
+	wiStatic := 0.0
+	if e.fabric != nil {
+		aw, sl := e.fabric.AwakeCycles, e.fabric.SleepCycles
+		if aw+sl > 0 {
+			awakeFrac = float64(aw) / float64(aw+sl)
+		}
+		nWI := float64(len(e.fabric.WIs()))
+		before := e.meter.StaticPJ()
+		e.meter.AddStaticMWCycles(cfg.WIRxActiveMW*nWI*awakeFrac, window)
+		e.meter.AddStaticMWCycles(cfg.WISleepMW*nWI*(1-awakeFrac), window)
+		wiStatic = e.meter.StaticPJ() - before
+	}
+
+	var gen, ref, inj, del int64
+	for _, ep := range e.endpoints {
+		gen += ep.Generated
+		ref += ep.Refused
+		inj += ep.Injected
+		del += ep.Ejected
+	}
+
+	cores := len(e.world.Cores)
+	cycleNS := e.meter.CycleNS()
+	bwPerCore := 0.0
+	accepted := 0.0
+	if window > 0 && cores > 0 {
+		bwPerCore = float64(coll.WindowBits) / (float64(window) * cycleNS) / float64(cores)
+		accepted = float64(coll.WindowFlits) / float64(window) / float64(cores)
+	}
+
+	// Average packet energy: packet-attributed dynamic energy plus the
+	// static energy amortized over packets delivered in the window.
+	avgPktNJ := 0.0
+	if coll.WindowPackets > 0 {
+		avgPktNJ = (coll.WindowEnergyPJ + e.meter.StaticPJ()) /
+			float64(coll.WindowPackets) / 1000.0
+	}
+
+	r := &Result{
+		Name:   cfg.Name,
+		Cycles: e.now,
+		Cores:  cores,
+
+		GeneratedPackets: gen,
+		RefusedPackets:   ref,
+		InjectedPackets:  inj,
+		DeliveredPackets: del,
+		MeasuredPackets:  coll.Packets,
+
+		AvgLatency:          coll.AvgLatency(),
+		AvgNetLatency:       coll.AvgNetLatency(),
+		AvgQueueLatency:     coll.AvgQueueLatency(),
+		P99Latency:          coll.LatencyPercentile(0.99),
+		MaxLatency:          coll.MaxLatency,
+		AvgHops:             coll.AvgHops(),
+		AvgDeliveredLatency: coll.AvgWindowLatency(),
+		AvgDeliveredHops:    coll.AvgWindowHops(),
+
+		WindowBits:           coll.WindowBits,
+		BandwidthPerCoreGbps: bwPerCore,
+		AcceptedFlitsPerCore: accepted,
+
+		MemReplies:       coll.MemReplies,
+		AvgReadRoundTrip: coll.AvgReadRoundTrip(),
+
+		AvgPacketEnergyNJ: avgPktNJ,
+		DynamicPJ:         e.meter.TotalDynamicPJ(),
+		StaticPJ:          e.meter.StaticPJ(),
+		EnergyBreakdown:   e.meter.Breakdown(),
+		LinkUtilization:   e.linkUtilization(),
+
+		WIAwakeFraction: awakeFrac,
+		WIStaticPJ:      wiStatic,
+	}
+	if e.fabric != nil {
+		r.ControlPackets = e.fabric.ControlPackets
+		r.TokenPasses = e.fabric.TokenPasses
+		r.Retransmits = e.fabric.Retransmits
+		for _, w := range e.fabric.WIs() {
+			if w.MaxTxDepth > r.WIMaxTxDepth {
+				r.WIMaxTxDepth = w.MaxTxDepth
+			}
+		}
+	}
+	return r, nil
+}
+
+// linkUtilization derives mean per-class link utilization from the energy
+// meter's flit counts and the topology's link inventory. The wireless class
+// is normalized by the sub-channel budget (its concurrency limit) rather
+// than the WI-pair count.
+func (e *Engine) linkUtilization() map[string]float64 {
+	cycles := float64(e.now)
+	if cycles == 0 {
+		return nil
+	}
+	flitBits := float64(e.cfg.FlitBits)
+
+	counts := map[energy.Class]float64{} // directed links per class
+	for _, ed := range e.graph.Edges {
+		counts[classOf(ed.Kind)] += 2
+	}
+	if e.fabric != nil {
+		ch := e.cfg.WirelessChannels
+		n := len(e.fabric.WIs())
+		if ch <= 0 || ch > n {
+			ch = n
+		}
+		counts[energy.ClassWireless] = float64(ch)
+	}
+
+	out := make(map[string]float64, len(counts))
+	for cl, n := range counts {
+		if n == 0 {
+			continue
+		}
+		flits := float64(e.meter.Bits(cl)) / flitBits
+		out[cl.String()] = flits / (n * cycles)
+	}
+	return out
+}
+
+// Run builds an engine from params and runs it.
+func Run(p Params) (*Result, error) {
+	e, err := New(p)
+	if err != nil {
+		return nil, err
+	}
+	return e.Run()
+}
+
+// CheckFlitConservation verifies that every flit injected by an NI is
+// either consumed at a destination or still inside the network (test and
+// validation hook; call after Run).
+func (e *Engine) CheckFlitConservation() error {
+	var sent, consumed int64
+	for _, ep := range e.endpoints {
+		sent += ep.FlitsSent
+		consumed += ep.FlitsConsumed
+	}
+	inNet := int64(0)
+	for _, s := range e.switches {
+		inNet += int64(s.BufferedFlits())
+	}
+	for _, l := range e.links {
+		inNet += int64(l.InFlight())
+	}
+	if e.fabric != nil {
+		inNet += int64(e.fabric.BufferedTxFlits() + e.fabric.PendingLen())
+	}
+	// NI-internal queues.
+	var niHeld int64
+	for _, ep := range e.endpoints {
+		niHeld += int64(ep.InFlightFlits())
+	}
+	if sent != consumed+inNet+niHeld {
+		return fmt.Errorf("engine: flit conservation violated: sent=%d consumed=%d in-network=%d ni-held=%d",
+			sent, consumed, inNet, niHeld)
+	}
+	return nil
+}

@@ -1,0 +1,56 @@
+package engine
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"wimc/internal/noc"
+	"wimc/internal/sim"
+)
+
+// TraceRecord is one line of the packet-level delivery trace.
+type TraceRecord struct {
+	ID          uint64         `json:"id"`
+	Src         sim.EndpointID `json:"src"`
+	Dst         sim.EndpointID `json:"dst"`
+	Class       string         `json:"class"`
+	Flits       int            `json:"flits"`
+	CreatedAt   sim.Cycle      `json:"created_at"`
+	InjectedAt  sim.Cycle      `json:"injected_at"`
+	DeliveredAt sim.Cycle      `json:"delivered_at"`
+	Hops        int32          `json:"hops"`
+	EnergyPJ    float64        `json:"energy_pj"`
+	Retransmits int32          `json:"retransmits,omitempty"`
+	ReplyFor    uint64         `json:"reply_for,omitempty"`
+}
+
+// tracePacket emits one JSON line for a delivered packet. The first write
+// error is retained and reported by Run.
+func (e *Engine) tracePacket(p *noc.Packet) {
+	if e.traceErr != nil {
+		return
+	}
+	rec := TraceRecord{
+		ID:          p.ID,
+		Src:         p.Src,
+		Dst:         p.Dst,
+		Class:       p.Class.String(),
+		Flits:       p.NumFlits,
+		CreatedAt:   p.CreatedAt,
+		InjectedAt:  p.InjectedAt,
+		DeliveredAt: p.DeliveredAt,
+		Hops:        p.Hops,
+		EnergyPJ:    p.EnergyPJ,
+		Retransmits: p.Retransmits,
+		ReplyFor:    p.ReplyFor,
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		e.traceErr = fmt.Errorf("engine: trace encode: %w", err)
+		return
+	}
+	data = append(data, '\n')
+	if _, err := e.trace.Write(data); err != nil {
+		e.traceErr = fmt.Errorf("engine: trace write: %w", err)
+	}
+}

@@ -1,0 +1,164 @@
+package figures
+
+import (
+	"wimc/internal/config"
+	"wimc/internal/engine"
+)
+
+// ablationTraffic is the common moderate-load workload for ablations.
+func ablationTraffic(rate float64) engine.TrafficSpec {
+	return engine.TrafficSpec{
+		Kind:        engine.TrafficUniform,
+		Rate:        rate,
+		MemFraction: 0.2,
+	}
+}
+
+// AblationMAC compares the paper's control-packet MAC against the
+// whole-packet token MAC baseline [7] on the exclusive shared channel:
+// latency, delivered bandwidth, protocol overhead and — the paper's
+// argument — the WI transmit-buffer requirement.
+func AblationMAC(o Opts) (*Table, error) {
+	t := &Table{
+		ID:     "mac",
+		Title:  "Control-packet MAC vs token MAC (exclusive 16 Gbps channel, 4C4M wireless)",
+		Header: []string{"mac", "avg_latency", "bw_per_core_gbps", "control_pkts", "token_passes", "max_wi_tx_flits"},
+		Notes: []string{
+			"paper §III.D: partial-packet control MAC avoids whole-packet buffering in the WIs",
+		},
+	}
+	for _, mac := range []config.MACMode{config.MACControlPacket, config.MACToken} {
+		cfg := xcym(4, config.ArchWireless, o)
+		cfg.Channel = config.ChannelExclusive
+		cfg.MAC = mac
+		if mac == config.MACToken {
+			cfg.TXBufferFlits = cfg.PacketFlits // whole packets must fit
+		}
+		r, err := engine.Run(engine.Params{Cfg: cfg, Traffic: ablationTraffic(0.0003)})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			string(mac),
+			f("%.0f", r.AvgLatency),
+			f("%.3f", r.BandwidthPerCoreGbps),
+			f("%d", r.ControlPackets),
+			f("%d", r.TokenPasses),
+			f("%d", r.WIMaxTxDepth),
+		})
+	}
+	return t, nil
+}
+
+// AblationChannel quantifies DESIGN.md §5.1: the gap between the
+// results-consistent crossbar channel and the literal single shared
+// 16 Gbps medium.
+func AblationChannel(o Opts) (*Table, error) {
+	t := &Table{
+		ID:     "channel",
+		Title:  "Crossbar channel model vs faithful exclusive 16 Gbps medium (4C4M wireless, saturation)",
+		Header: []string{"channel", "peak_bw_per_core_gbps", "avg_latency", "avg_packet_energy_nj"},
+		Notes: []string{
+			"the paper's reported multi-Gbps per-core bandwidth is unreachable on a single shared 16 Gbps channel",
+		},
+	}
+	for _, ch := range []config.ChannelMode{config.ChannelCrossbar, config.ChannelExclusive} {
+		cfg := xcym(4, config.ArchWireless, o)
+		cfg.Channel = ch
+		r, err := saturate(cfg, 0.2)
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			string(ch),
+			f("%.3f", r.BandwidthPerCoreGbps),
+			f("%.0f", r.AvgLatency),
+			f("%.1f", r.AvgPacketEnergyNJ),
+		})
+	}
+	return t, nil
+}
+
+// AblationRouting quantifies DESIGN.md §5.2: per-source shortest paths
+// versus the paper's literal single shortest-path tree.
+func AblationRouting(o Opts) (*Table, error) {
+	t := &Table{
+		ID:     "routing",
+		Title:  "Shortest-path routing vs single-tree routing (4C4M, moderate load)",
+		Header: []string{"arch", "routing", "avg_latency", "bw_per_core_gbps", "avg_hops"},
+		Notes: []string{
+			"a single tree forces all inter-WI traffic through the root WI, defeating one-hop wireless links",
+		},
+	}
+	for _, arch := range []config.Architecture{config.ArchInterposer, config.ArchWireless} {
+		for _, mode := range []config.RoutingMode{config.RouteShortest, config.RouteTree} {
+			cfg := xcym(4, arch, o)
+			cfg.Routing = mode
+			r, err := engine.Run(engine.Params{Cfg: cfg, Traffic: ablationTraffic(0.001)})
+			if err != nil {
+				return nil, err
+			}
+			t.Rows = append(t.Rows, []string{
+				string(arch),
+				string(mode),
+				f("%.0f", r.AvgLatency),
+				f("%.3f", r.BandwidthPerCoreGbps),
+				f("%.2f", r.AvgHops),
+			})
+		}
+	}
+	return t, nil
+}
+
+// AblationSleep quantifies the sleepy-transceiver power gating [17]: WI
+// awake fraction and total wireless-domain static energy with and without
+// power gating.
+func AblationSleep(o Opts) (*Table, error) {
+	t := &Table{
+		ID:     "sleep",
+		Title:  "Sleepy transceivers vs always-on receivers (4C4M wireless, moderate load)",
+		Header: []string{"sleep", "wi_awake_fraction", "wi_static_nj", "total_static_uj"},
+	}
+	for _, sleep := range []bool{true, false} {
+		cfg := xcym(4, config.ArchWireless, o)
+		cfg.SleepEnabled = sleep
+		r, err := engine.Run(engine.Params{Cfg: cfg, Traffic: ablationTraffic(0.001)})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			f("%v", sleep),
+			f("%.3f", r.WIAwakeFraction),
+			f("%.1f", r.WIStaticPJ/1e3),
+			f("%.3f", r.StaticPJ/1e6),
+		})
+	}
+	return t, nil
+}
+
+// AblationDensity explores WI deployment density on the single-chip system
+// (paper §III.A: density trades area and channel contention against hop
+// count to the nearest WI).
+func AblationDensity(o Opts) (*Table, error) {
+	t := &Table{
+		ID:     "density",
+		Title:  "WI deployment density, 1C4M wireless (64-core chip, moderate load)",
+		Header: []string{"cores_per_wi", "wis_on_chip", "avg_latency", "bw_per_core_gbps", "avg_hops"},
+	}
+	for _, density := range []int{64, 32, 16, 8} {
+		cfg := xcym(1, config.ArchWireless, o)
+		cfg.CoresPerWI = density
+		r, err := engine.Run(engine.Params{Cfg: cfg, Traffic: ablationTraffic(0.002)})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			f("%d", density),
+			f("%d", cfg.Cores()/density),
+			f("%.0f", r.AvgLatency),
+			f("%.3f", r.BandwidthPerCoreGbps),
+			f("%.2f", r.AvgHops),
+		})
+	}
+	return t, nil
+}

@@ -1,0 +1,82 @@
+package figures
+
+import (
+	"wimc/internal/config"
+	"wimc/internal/engine"
+)
+
+// ExtensionHybrid evaluates the hybrid architecture (interposer wiring plus
+// the wireless overlay) against the paper's three systems — the natural
+// "future work" design point: wires for neighbor bandwidth, wireless single
+// hops for distance.
+func ExtensionHybrid(o Opts) (*Table, error) {
+	t := &Table{
+		ID:     "hybrid",
+		Title:  "Hybrid (interposer + wireless overlay) vs the paper's architectures, 4C4M",
+		Header: []string{"architecture", "peak_bw_per_core_gbps", "avg_packet_energy_nj", "low_load_latency"},
+		Notes: []string{
+			"extension experiment: not part of the paper's evaluation",
+		},
+	}
+	for _, arch := range []config.Architecture{
+		config.ArchSubstrate, config.ArchInterposer, config.ArchWireless, config.ArchHybrid,
+	} {
+		sat, err := saturate(xcym(4, arch, o), 0.2)
+		if err != nil {
+			return nil, err
+		}
+		low, err := engine.Run(engine.Params{
+			Cfg: xcym(4, arch, o),
+			Traffic: engine.TrafficSpec{
+				Kind: engine.TrafficUniform, Rate: 0.0005, MemFraction: 0.2,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			string(arch),
+			f("%.3f", sat.BandwidthPerCoreGbps),
+			f("%.1f", sat.AvgPacketEnergyNJ),
+			f("%.0f", low.AvgLatency),
+		})
+	}
+	return t, nil
+}
+
+// ExtensionReadRoundTrip measures memory read transactions (request +
+// DRAM service + data reply) across architectures — the end-to-end metric
+// an in-package memory system ultimately serves.
+func ExtensionReadRoundTrip(o Opts) (*Table, error) {
+	t := &Table{
+		ID:     "readrt",
+		Title:  "Memory read round trip (request + 40-cycle DRAM service + 64-flit reply), 4C4M",
+		Header: []string{"architecture", "avg_read_round_trip_cycles", "replies_delivered"},
+		Notes: []string{
+			"extension experiment: the paper models one-way traffic only",
+		},
+	}
+	for _, arch := range []config.Architecture{
+		config.ArchSubstrate, config.ArchInterposer, config.ArchWireless, config.ArchHybrid,
+	} {
+		cfg := xcym(4, arch, o)
+		r, err := engine.Run(engine.Params{
+			Cfg: cfg,
+			Traffic: engine.TrafficSpec{
+				Kind:            engine.TrafficUniform,
+				Rate:            0.0005,
+				MemFraction:     0.5,
+				MemReadFraction: 1.0,
+			},
+		})
+		if err != nil {
+			return nil, err
+		}
+		t.Rows = append(t.Rows, []string{
+			string(arch),
+			f("%.0f", r.AvgReadRoundTrip),
+			f("%d", r.MemReplies),
+		})
+	}
+	return t, nil
+}

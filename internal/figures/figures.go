@@ -1,0 +1,182 @@
+// Package figures regenerates every table and figure of the paper's
+// evaluation (§IV) plus the ablations called out in DESIGN.md §7. Each
+// experiment returns a Table that the wimcbench command renders as text or
+// CSV and that bench_test.go drives under testing.B.
+package figures
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"strings"
+
+	"wimc/internal/config"
+	"wimc/internal/engine"
+)
+
+// Table is one regenerated figure/table.
+type Table struct {
+	ID     string     `json:"id"`
+	Title  string     `json:"title"`
+	Header []string   `json:"header"`
+	Rows   [][]string `json:"rows"`
+	Notes  []string   `json:"notes,omitempty"`
+}
+
+// Text renders the table for terminals.
+func (t *Table) Text() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "== %s: %s ==\n", t.ID, t.Title)
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	for _, r := range t.Rows {
+		line(r)
+	}
+	for _, n := range t.Notes {
+		fmt.Fprintf(&b, "note: %s\n", n)
+	}
+	return b.String()
+}
+
+// WriteCSV writes the table as CSV.
+func (t *Table) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(t.Header); err != nil {
+		return err
+	}
+	for _, r := range t.Rows {
+		if err := cw.Write(r); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// Opts controls experiment fidelity.
+type Opts struct {
+	// Quick shortens the simulation windows (for benchmarks and CI); full
+	// runs use the paper's 10 000-cycle methodology.
+	Quick bool
+	// Seed overrides the default seed when nonzero.
+	Seed uint64
+}
+
+func (o Opts) apply(cfg *config.Config) {
+	if o.Quick {
+		cfg.WarmupCycles = 300
+		cfg.MeasureCycles = 2700
+	}
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+}
+
+// applyApp lengthens windows for application traffic, whose phase dwell
+// times are thousands of cycles.
+func (o Opts) applyApp(cfg *config.Config) {
+	cfg.WarmupCycles = 2000
+	cfg.MeasureCycles = 20000
+	if o.Quick {
+		cfg.WarmupCycles = 500
+		cfg.MeasureCycles = 5000
+	}
+	if o.Seed != 0 {
+		cfg.Seed = o.Seed
+	}
+}
+
+func xcym(chips int, arch config.Architecture, o Opts) config.Config {
+	cfg := config.MustXCYM(chips, 4, arch)
+	o.apply(&cfg)
+	return cfg
+}
+
+func saturate(cfg config.Config, mem float64) (*engine.Result, error) {
+	return engine.Run(engine.Params{
+		Cfg: cfg,
+		Traffic: engine.TrafficSpec{
+			Kind:        engine.TrafficUniform,
+			Rate:        1.0,
+			MemFraction: mem,
+		},
+	})
+}
+
+func f(format string, v ...any) string { return fmt.Sprintf(format, v...) }
+
+// gainPct returns 100*(a-b)/b: the relative increase of a over baseline b.
+func gainPct(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return 100 * (a - b) / b
+}
+
+// reductionPct returns 100*(base-sys)/base: the paper's "% gain" for
+// metrics where lower is better (packet energy, packet latency).
+func reductionPct(base, sys float64) float64 {
+	if base == 0 {
+		return 0
+	}
+	return 100 * (base - sys) / base
+}
+
+// Experiments lists every experiment ID in run order: the paper's five
+// figures, the five DESIGN.md ablations, and two extension experiments.
+func Experiments() []string {
+	return []string{"fig2", "fig3", "fig4", "fig5", "fig6",
+		"mac", "channel", "routing", "sleep", "density",
+		"hybrid", "readrt"}
+}
+
+// Run executes one experiment by ID.
+func Run(id string, o Opts) (*Table, error) {
+	switch id {
+	case "fig2":
+		return Fig2(o)
+	case "fig3":
+		return Fig3(o)
+	case "fig4":
+		return Fig4(o)
+	case "fig5":
+		return Fig5(o)
+	case "fig6":
+		return Fig6(o)
+	case "mac":
+		return AblationMAC(o)
+	case "channel":
+		return AblationChannel(o)
+	case "routing":
+		return AblationRouting(o)
+	case "sleep":
+		return AblationSleep(o)
+	case "density":
+		return AblationDensity(o)
+	case "hybrid":
+		return ExtensionHybrid(o)
+	case "readrt":
+		return ExtensionReadRoundTrip(o)
+	default:
+		return nil, fmt.Errorf("figures: unknown experiment %q (have %v)", id, Experiments())
+	}
+}

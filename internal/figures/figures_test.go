@@ -1,0 +1,104 @@
+package figures
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quick runs every experiment in quick mode once; tables must be well
+// formed.
+func TestAllExperimentsProduceTables(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full experiment matrix in -short mode")
+	}
+	for _, id := range Experiments() {
+		id := id
+		t.Run(id, func(t *testing.T) {
+			tb, err := Run(id, Opts{Quick: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if tb.ID != id {
+				t.Fatalf("table ID %q", tb.ID)
+			}
+			if len(tb.Header) == 0 || len(tb.Rows) == 0 {
+				t.Fatalf("empty table %q", id)
+			}
+			for i, r := range tb.Rows {
+				if len(r) != len(tb.Header) {
+					t.Fatalf("%s row %d has %d cells, header %d", id, i, len(r), len(tb.Header))
+				}
+			}
+			if !strings.Contains(tb.Text(), id) {
+				t.Fatal("Text() missing table ID")
+			}
+		})
+	}
+}
+
+func TestRunUnknownExperiment(t *testing.T) {
+	if _, err := Run("fig99", Opts{}); err == nil {
+		t.Fatal("unknown experiment accepted")
+	}
+}
+
+func TestCSVOutput(t *testing.T) {
+	tb := &Table{
+		ID:     "x",
+		Header: []string{"a", "b"},
+		Rows:   [][]string{{"1", "2"}, {"3", "4"}},
+	}
+	var buf bytes.Buffer
+	if err := tb.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	want := "a,b\n1,2\n3,4\n"
+	if buf.String() != want {
+		t.Fatalf("csv = %q, want %q", buf.String(), want)
+	}
+}
+
+func TestTextAlignsColumns(t *testing.T) {
+	tb := &Table{
+		ID:     "y",
+		Title:  "t",
+		Header: []string{"col", "value"},
+		Rows:   [][]string{{"aaaa", "1"}},
+		Notes:  []string{"n"},
+	}
+	out := tb.Text()
+	if !strings.Contains(out, "note: n") {
+		t.Fatal("notes missing")
+	}
+	if !strings.Contains(out, "aaaa") {
+		t.Fatal("row missing")
+	}
+}
+
+// TestFig6AllApplicationsFavorWireless checks the paper's headline
+// application-traffic claim in quick mode: every application row shows
+// positive latency and energy gains.
+func TestFig6AllApplicationsFavorWireless(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	tb, err := Fig6(Opts{Quick: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range tb.Rows {
+		lat, err := strconv.ParseFloat(row[2], 64)
+		if err != nil {
+			t.Fatalf("bad latency cell %q", row[2])
+		}
+		en, err := strconv.ParseFloat(row[3], 64)
+		if err != nil {
+			t.Fatalf("bad energy cell %q", row[3])
+		}
+		if lat <= 0 || en <= 0 {
+			t.Errorf("%s: gains %+.1f%% / %+.1f%% not positive", row[0], lat, en)
+		}
+	}
+}

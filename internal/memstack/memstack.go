@@ -1,0 +1,105 @@
+// Package memstack models the in-package stacked-DRAM memory modules of the
+// multichip system: a base logic die carrying the network interface (and,
+// in the wireless architecture, a wireless transceiver) under vertically
+// stacked DRAM layers interconnected by through-silicon vias (TSVs).
+//
+// The paper (§IV) fixes the module at four DRAM layers and four channels per
+// stack; data movement inside the stack is identical across architectures,
+// so only the TSV crossing from the logic die to the addressed layer is
+// modeled (latency and energy scale with the layer index).
+package memstack
+
+import "fmt"
+
+// Side places a stack on the left or right flank of the chip array.
+type Side int
+
+// Stack placement sides (stacks are "mounted on both sides of the
+// processing chip array", paper §IV.A).
+const (
+	SideLeft Side = iota + 1
+	SideRight
+)
+
+// String returns the side name.
+func (s Side) String() string {
+	switch s {
+	case SideLeft:
+		return "left"
+	case SideRight:
+		return "right"
+	default:
+		return fmt.Sprintf("side(%d)", int(s))
+	}
+}
+
+// Stack describes one memory module.
+type Stack struct {
+	Index    int  // global stack index
+	Side     Side // flank of the chip array
+	Row      int  // chip-grid row the stack faces
+	Layers   int  // DRAM layers above the logic die
+	Channels int  // independent channels
+}
+
+// New returns a stack description after validating its shape.
+func New(index int, side Side, row, layers, channels int) (Stack, error) {
+	if layers < 1 {
+		return Stack{}, fmt.Errorf("memstack: layers must be >= 1, got %d", layers)
+	}
+	if channels < 1 {
+		return Stack{}, fmt.Errorf("memstack: channels must be >= 1, got %d", channels)
+	}
+	if row < 0 {
+		return Stack{}, fmt.Errorf("memstack: row must be >= 0, got %d", row)
+	}
+	switch side {
+	case SideLeft, SideRight:
+	default:
+		return Stack{}, fmt.Errorf("memstack: invalid side %v", side)
+	}
+	return Stack{Index: index, Side: side, Row: row, Layers: layers, Channels: channels}, nil
+}
+
+// ChannelLayer maps a channel to the DRAM layer that serves it. Channels are
+// distributed round-robin over layers (channel 0 on layer 1, the layer
+// nearest the logic die).
+func (s Stack) ChannelLayer(channel int) (int, error) {
+	if channel < 0 || channel >= s.Channels {
+		return 0, fmt.Errorf("memstack: channel %d out of range [0,%d)", channel, s.Channels)
+	}
+	return 1 + channel%s.Layers, nil
+}
+
+// TSVCrossings returns the number of layer boundaries a flit crosses to
+// reach the given channel from the base logic die.
+func (s Stack) TSVCrossings(channel int) (int, error) {
+	return s.ChannelLayer(channel)
+}
+
+// TSVLatencyCycles returns the stack-internal latency for a channel given
+// the per-layer TSV latency.
+func (s Stack) TSVLatencyCycles(channel, perLayer int) (int, error) {
+	n, err := s.TSVCrossings(channel)
+	if err != nil {
+		return 0, err
+	}
+	if perLayer < 1 {
+		perLayer = 1
+	}
+	lat := n * perLayer
+	if lat < 1 {
+		lat = 1
+	}
+	return lat, nil
+}
+
+// TSVEnergyPJPerBit returns the stack-internal energy per bit for a channel
+// given the per-layer TSV energy.
+func (s Stack) TSVEnergyPJPerBit(channel int, perLayerPJ float64) (float64, error) {
+	n, err := s.TSVCrossings(channel)
+	if err != nil {
+		return 0, err
+	}
+	return float64(n) * perLayerPJ, nil
+}

@@ -1,0 +1,103 @@
+package memstack
+
+import "testing"
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, SideLeft, 0, 0, 4); err == nil {
+		t.Fatal("zero layers accepted")
+	}
+	if _, err := New(0, SideLeft, 0, 4, 0); err == nil {
+		t.Fatal("zero channels accepted")
+	}
+	if _, err := New(0, SideLeft, -1, 4, 4); err == nil {
+		t.Fatal("negative row accepted")
+	}
+	if _, err := New(0, Side(9), 0, 4, 4); err == nil {
+		t.Fatal("bad side accepted")
+	}
+	st, err := New(2, SideRight, 1, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Index != 2 || st.Side != SideRight || st.Row != 1 {
+		t.Fatalf("stack fields wrong: %+v", st)
+	}
+}
+
+func TestChannelLayerRoundRobin(t *testing.T) {
+	st, _ := New(0, SideLeft, 0, 4, 4)
+	for ch := 0; ch < 4; ch++ {
+		layer, err := st.ChannelLayer(ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if layer != ch+1 {
+			t.Fatalf("channel %d on layer %d, want %d", ch, layer, ch+1)
+		}
+	}
+}
+
+func TestChannelLayerMoreChannelsThanLayers(t *testing.T) {
+	st, _ := New(0, SideLeft, 0, 2, 4)
+	want := []int{1, 2, 1, 2}
+	for ch, w := range want {
+		layer, err := st.ChannelLayer(ch)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if layer != w {
+			t.Fatalf("channel %d on layer %d, want %d", ch, layer, w)
+		}
+	}
+}
+
+func TestChannelLayerOutOfRange(t *testing.T) {
+	st, _ := New(0, SideLeft, 0, 4, 4)
+	if _, err := st.ChannelLayer(-1); err == nil {
+		t.Fatal("negative channel accepted")
+	}
+	if _, err := st.ChannelLayer(4); err == nil {
+		t.Fatal("out-of-range channel accepted")
+	}
+}
+
+func TestTSVLatency(t *testing.T) {
+	st, _ := New(0, SideLeft, 0, 4, 4)
+	lat, err := st.TSVLatencyCycles(3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != 4 { // channel 3 sits on layer 4: four crossings at 1 cycle each
+		t.Fatalf("TSV latency = %d, want 4", lat)
+	}
+	lat, err = st.TSVLatencyCycles(0, 0) // per-layer floor of 1
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lat != 1 {
+		t.Fatalf("TSV latency floor = %d, want 1", lat)
+	}
+}
+
+func TestTSVEnergy(t *testing.T) {
+	st, _ := New(0, SideLeft, 0, 4, 4)
+	pj, err := st.TSVEnergyPJPerBit(2, 0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pj < 0.149 || pj > 0.151 { // layer 3: three crossings
+		t.Fatalf("TSV energy = %v pJ/bit, want 0.15", pj)
+	}
+	if _, err := st.TSVEnergyPJPerBit(9, 0.05); err == nil {
+		t.Fatal("out-of-range channel accepted")
+	}
+}
+
+func TestSideString(t *testing.T) {
+	if SideLeft.String() != "left" || SideRight.String() != "right" {
+		t.Fatal("side names wrong")
+	}
+	if Side(42).String() != "side(42)" {
+		t.Fatalf("unknown side name = %q", Side(42).String())
+	}
+}

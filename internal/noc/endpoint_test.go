@@ -1,0 +1,123 @@
+package noc
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestOfferRefusesWhenFull(t *testing.T) {
+	o := defaultPipeOpts()
+	o.queueCap = 2
+	p := newPipe(t, o)
+	if !p.src.Offer(mkPacket(1, 4)) || !p.src.Offer(mkPacket(2, 4)) {
+		t.Fatal("offers within capacity refused")
+	}
+	if p.src.Offer(mkPacket(3, 4)) {
+		t.Fatal("offer beyond capacity accepted")
+	}
+	if p.src.Generated != 3 || p.src.Refused != 1 {
+		t.Fatalf("counters %d/%d, want 3/1", p.src.Generated, p.src.Refused)
+	}
+	if p.src.QueueLen() != 2 {
+		t.Fatalf("queue length %d", p.src.QueueLen())
+	}
+}
+
+func TestInjectionAtMostOneFlitPerCycle(t *testing.T) {
+	p := newPipe(t, defaultPipeOpts())
+	for i := 0; i < 4; i++ {
+		p.src.Offer(mkPacket(uint64(i+1), 4))
+	}
+	prev := p.src.FlitsSent
+	for i := 0; i < 30; i++ {
+		p.step()
+		sent := p.src.FlitsSent
+		if sent-prev > 1 {
+			t.Fatalf("NI injected %d flits in one cycle", sent-prev)
+		}
+		prev = sent
+	}
+}
+
+func TestInjectedTimestampAndCounters(t *testing.T) {
+	p := newPipe(t, defaultPipeOpts())
+	pkt := mkPacket(1, 2)
+	pkt.CreatedAt = 0
+	p.src.Offer(pkt)
+	p.run(30)
+	if pkt.InjectedAt <= 0 && pkt.InjectedAt != 0 {
+		t.Fatalf("injected at %d", pkt.InjectedAt)
+	}
+	if p.src.Injected != 1 || p.dst.Ejected != 1 {
+		t.Fatalf("inject/eject counters %d/%d", p.src.Injected, p.dst.Ejected)
+	}
+	if p.src.FlitsSent != 2 || p.dst.FlitsConsumed != 2 {
+		t.Fatalf("flit counters %d/%d", p.src.FlitsSent, p.dst.FlitsConsumed)
+	}
+}
+
+func TestDrained(t *testing.T) {
+	p := newPipe(t, defaultPipeOpts())
+	if !p.src.Drained() {
+		t.Fatal("fresh NI not drained")
+	}
+	p.src.Offer(mkPacket(1, 4))
+	if p.src.Drained() {
+		t.Fatal("NI with queued packet claims drained")
+	}
+	p.run(60)
+	if !p.src.Drained() || !p.dst.Drained() {
+		t.Fatal("NI not drained after delivery")
+	}
+}
+
+func TestInFlightFlits(t *testing.T) {
+	p := newPipe(t, defaultPipeOpts())
+	p.src.Offer(mkPacket(1, 4))
+	p.step()
+	if p.src.InFlightFlits() == 0 {
+		t.Fatal("no in-flight flit right after injection")
+	}
+	p.run(60)
+	if p.src.InFlightFlits() != 0 || p.dst.InFlightFlits() != 0 {
+		t.Fatal("in-flight flits after drain")
+	}
+}
+
+// TestReassemblyAcrossRandomSizes is a property test: any mix of packet
+// sizes is fully delivered, in order, with flit conservation.
+func TestReassemblyAcrossRandomSizes(t *testing.T) {
+	check := func(sizes []uint8) bool {
+		if len(sizes) == 0 || len(sizes) > 12 {
+			return true
+		}
+		p := newPipe(t, defaultPipeOpts())
+		total := 0
+		queued := 0
+		for i, s := range sizes {
+			flits := int(s%16) + 1
+			if p.src.Offer(mkPacket(uint64(i+1), flits)) {
+				total += flits
+				queued++
+			}
+		}
+		p.run(total + 16*len(sizes) + 60)
+		return len(p.delivered) == queued &&
+			p.dst.FlitsConsumed == int64(total) &&
+			p.src.Drained() && p.dst.Drained()
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLocalLatencyFloor(t *testing.T) {
+	m := mustMeter(t)
+	sw := NewSwitch(0, 2, 4, 32, 0, m)
+	in := sw.AddInputPort(nil)
+	out := sw.AddOutputPort(nil, 4)
+	ep := NewEndpoint(0, sw, in, out, 0, 0, energyClassSwitch(), 32, 4, nil, m)
+	if ep.localLatency != 1 {
+		t.Fatalf("local latency floor = %d", ep.localLatency)
+	}
+}

@@ -1,0 +1,112 @@
+package noc
+
+import (
+	"wimc/internal/energy"
+	"wimc/internal/sim"
+)
+
+// timedFlit is a flit in flight with its arrival cycle.
+type timedFlit struct {
+	at sim.Cycle
+	f  Flit
+}
+
+// timedCredit is a credit in flight back to the transmitter.
+type timedCredit struct {
+	at sim.Cycle
+	vc int
+}
+
+// Link is a directed, bandwidth-limited, pipelined wire between two switch
+// ports. It implements Conduit for the upstream output port and CreditSink
+// for the downstream input port.
+type Link struct {
+	class    energy.Class
+	latency  sim.Cycle
+	bucket   sim.TokenBucket
+	pjPerBit float64
+	flitBits int
+	meter    *energy.Meter
+
+	src     *Switch
+	srcPort int
+	dst     *Switch
+	dstPort int
+
+	inflight []timedFlit
+	credits  []timedCredit
+}
+
+// NewLink constructs a directed link. Wiring to switch ports is performed
+// by the engine (the link must know both ends to deliver flits and return
+// credits).
+func NewLink(class energy.Class, latency int, rate sim.Rate, pjPerBit float64,
+	flitBits int, m *energy.Meter) *Link {
+	if latency < 1 {
+		latency = 1
+	}
+	return &Link{
+		class:    class,
+		latency:  sim.Cycle(latency),
+		bucket:   sim.NewTokenBucket(rate),
+		pjPerBit: pjPerBit,
+		flitBits: flitBits,
+		meter:    m,
+	}
+}
+
+// Connect attaches the link between src output-side and dst input-side.
+func (l *Link) Connect(src *Switch, srcPort int, dst *Switch, dstPort int) {
+	l.src, l.srcPort = src, srcPort
+	l.dst, l.dstPort = dst, dstPort
+}
+
+// Class returns the link's energy class.
+func (l *Link) Class() energy.Class { return l.class }
+
+// Latency returns the link traversal latency in cycles.
+func (l *Link) Latency() int { return int(l.latency) }
+
+// CanAccept reports whether bandwidth tokens allow a flit this cycle.
+func (l *Link) CanAccept(sim.Cycle) bool { return l.bucket.CanSpend() }
+
+// Accept launches a flit onto the wire.
+func (l *Link) Accept(now sim.Cycle, f Flit, _ sim.SwitchID) {
+	if !l.bucket.TrySpend() {
+		panic("noc: link accepted flit without bandwidth tokens")
+	}
+	pj := l.meter.AddDynamic(l.class, l.flitBits, l.pjPerBit*float64(l.flitBits))
+	f.Pkt.AddEnergy(pj)
+	l.inflight = append(l.inflight, timedFlit{at: now + l.latency, f: f})
+}
+
+// ReturnCredit schedules a freed downstream buffer slot back to the source
+// output port (credit wires share the link latency).
+func (l *Link) ReturnCredit(now sim.Cycle, vc int) {
+	l.credits = append(l.credits, timedCredit{at: now + l.latency, vc: vc})
+}
+
+// Refill adds one cycle of bandwidth tokens.
+func (l *Link) Refill() { l.bucket.Refill() }
+
+// Deliver moves flits and credits that have completed traversal.
+func (l *Link) Deliver(now sim.Cycle) {
+	for len(l.inflight) > 0 && l.inflight[0].at <= now {
+		tf := l.inflight[0]
+		l.inflight = l.inflight[1:]
+		l.dst.Receive(l.dstPort, int(tf.f.VC), tf.f)
+	}
+	for len(l.credits) > 0 && l.credits[0].at <= now {
+		tc := l.credits[0]
+		l.credits = l.credits[1:]
+		l.src.ReturnCredit(l.srcPort, tc.vc)
+	}
+}
+
+// InFlight returns the number of flits on the wire (test hook).
+func (l *Link) InFlight() int { return len(l.inflight) }
+
+var (
+	_ Conduit    = (*Link)(nil)
+	_ CreditSink = (*Link)(nil)
+)

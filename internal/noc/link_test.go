@@ -1,0 +1,121 @@
+package noc
+
+import (
+	"testing"
+
+	"wimc/internal/energy"
+	"wimc/internal/sim"
+)
+
+// energyClassSwitch avoids importing energy in every test file.
+func energyClassSwitch() energy.Class { return energy.ClassSwitch }
+
+func TestLinkLatency(t *testing.T) {
+	o := defaultPipeOpts()
+	o.linkLatency = 5
+	p := newPipe(t, o)
+	pkt := mkPacket(1, 1)
+	p.src.Offer(pkt)
+	p.run(40)
+	if len(p.delivered) != 1 {
+		t.Fatal("no delivery")
+	}
+	// Baseline timing is 9 with latency 1; +4 extra wire cycles.
+	if pkt.DeliveredAt != 13 {
+		t.Fatalf("latency-5 link delivery at %d, want 13", pkt.DeliveredAt)
+	}
+}
+
+func TestLinkLatencyFloor(t *testing.T) {
+	l := NewLink(energy.ClassLinkMesh, 0, sim.RateOne, 0, 32, mustMeter(t))
+	if l.Latency() != 1 {
+		t.Fatalf("latency floor = %d, want 1", l.Latency())
+	}
+}
+
+func TestLinkEnergyAccounting(t *testing.T) {
+	o := defaultPipeOpts()
+	o.linkPJPerBit = 5.0 // the serial I/O figure
+	p := newPipe(t, o)
+	pkt := mkPacket(1, 2)
+	p.src.Offer(pkt)
+	p.run(40)
+	// 2 flits × 5 pJ/bit × 32 bits = 320 pJ on the link class.
+	if got := p.meter.DynamicPJ(energy.ClassLinkMesh); got != 320 {
+		t.Fatalf("link energy = %v pJ, want 320", got)
+	}
+}
+
+func TestLinkRejectsSendWithoutTokens(t *testing.T) {
+	l := NewLink(energy.ClassLinkSerial, 1, sim.RateFromFlitsPerCycle(0.1), 0, 32, mustMeter(t))
+	pkt := mkPacket(1, 4)
+	if !l.CanAccept(0) {
+		t.Fatal("fresh link must have one token")
+	}
+	l.Accept(0, FlitAt(pkt, 0), sim.NoSwitch)
+	if l.CanAccept(0) {
+		t.Fatal("link accepted past its rate")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("accept without tokens did not panic")
+		}
+	}()
+	l.Accept(0, FlitAt(pkt, 1), sim.NoSwitch)
+}
+
+func TestLinkInFlightAccounting(t *testing.T) {
+	m := mustMeter(t)
+	l := NewLink(energy.ClassLinkMesh, 3, sim.RateOne, 0, 32, m)
+	sw := NewSwitch(9, 2, 4, 32, 0, m)
+	in := sw.AddInputPort(l)
+	l.Connect(sw, 0, sw, in) // src side unused in this test
+	pkt := mkPacket(1, 1)
+	f := FlitAt(pkt, 0)
+	f.VC = 1
+	l.Accept(0, f, sim.NoSwitch)
+	if l.InFlight() != 1 {
+		t.Fatal("in-flight count wrong")
+	}
+	l.Deliver(2) // before arrival cycle 3
+	if l.InFlight() != 1 {
+		t.Fatal("delivered early")
+	}
+	l.Deliver(3)
+	if l.InFlight() != 0 {
+		t.Fatal("not delivered at latency")
+	}
+	if sw.BufferedFlits() != 1 {
+		t.Fatal("flit not in destination buffer")
+	}
+}
+
+func TestCreditReturnLatency(t *testing.T) {
+	m := mustMeter(t)
+	l := NewLink(energy.ClassLinkMesh, 2, sim.RateOne, 0, 32, m)
+	src := NewSwitch(0, 2, 4, 32, 0, m)
+	dst := NewSwitch(1, 2, 4, 32, 0, m)
+	out := src.AddOutputPort(l, 4)
+	in := dst.AddInputPort(l)
+	l.Connect(src, out, dst, in)
+
+	src.Output(out).vcs[0].credits-- // pretend one flit was sent
+	l.ReturnCredit(10, 0)
+	l.Deliver(11)
+	if got := src.Output(out).Credits(0); got != 3 {
+		t.Fatalf("credit returned early: %d", got)
+	}
+	l.Deliver(12)
+	if got := src.Output(out).Credits(0); got != 4 {
+		t.Fatalf("credit not returned at latency: %d", got)
+	}
+}
+
+func mustMeter(t *testing.T) *energy.Meter {
+	t.Helper()
+	m, err := energy.NewMeter(2.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}

@@ -1,0 +1,413 @@
+package noc
+
+import (
+	"fmt"
+
+	"wimc/internal/energy"
+	"wimc/internal/sim"
+)
+
+// Conduit is the downstream attachment of an output port: a wired link, an
+// endpoint ejection sink, or a wireless transmit buffer.
+type Conduit interface {
+	// CanAccept reports whether the conduit can take one flit this cycle
+	// (bandwidth tokens, buffer space).
+	CanAccept(now sim.Cycle) bool
+	// Accept takes one flit. next identifies the next-hop switch chosen by
+	// routing (needed by the wireless fabric to address the destination WI;
+	// wired links ignore it).
+	Accept(now sim.Cycle, f Flit, next sim.SwitchID)
+}
+
+// CreditSink receives buffer credits freed by a switch input VC and returns
+// them to the upstream transmitter.
+type CreditSink interface {
+	ReturnCredit(now sim.Cycle, vc int)
+}
+
+// PortHop is one forwarding-table entry: the output port toward a
+// destination endpoint and the next-hop switch (sim.NoSwitch for local
+// delivery).
+type PortHop struct {
+	Port int16
+	Next sim.SwitchID
+}
+
+// vcState tracks the wormhole state machine of one input VC.
+type vcState uint8
+
+const (
+	vcIdle   vcState = iota // waiting for a head flit
+	vcWaitVC                // routed, waiting for an output VC grant
+	vcActive                // streaming flits to the allocated output VC
+)
+
+// inputVC is one virtual channel of an input port.
+type inputVC struct {
+	buf      flitRing
+	state    vcState
+	outPort  int16
+	outVC    int16
+	phase    uint8 // VC class of the packet currently heading the buffer
+	nextHop  sim.SwitchID
+	routedAt sim.Cycle // cycle the head completed route computation
+}
+
+// InputPort is the receive side of a switch port.
+type InputPort struct {
+	vcs    []inputVC
+	credit CreditSink
+	rrNom  int // round-robin pointer for switch-allocation nomination
+}
+
+// outputVC is one virtual channel of an output port.
+type outputVC struct {
+	holderPort int16 // input port currently holding this VC, or -1
+	holderVC   int16
+	credits    int16
+}
+
+// OutputPort is the transmit side of a switch port.
+type OutputPort struct {
+	vcs        []outputVC
+	conduit    Conduit
+	maxCredits int16
+	rrVA       int
+	rrSA       int
+}
+
+// Credits returns the available downstream credits of output VC vc (test
+// and invariant-check hook).
+func (op *OutputPort) Credits(vc int) int { return int(op.vcs[vc].credits) }
+
+// Switch is a wormhole virtual-channel router with a three-stage pipeline:
+// route computation (RC), VC allocation (VA) and switch allocation plus
+// traversal (SA/ST). One flit per output port traverses per cycle.
+type Switch struct {
+	ID sim.SwitchID
+
+	vcCount  int
+	depth    int
+	flitBits int
+
+	in  []*InputPort
+	out []*OutputPort
+
+	fwd []PortHop // indexed by destination endpoint ID
+
+	// phaseSplit partitions output VCs into two classes: flits in phase 0
+	// (pre-wireless) may only use VCs [0, V-postVCs), flits in phase 1
+	// (post-wireless) only [V-postVCs, V). Enabled on wireless topologies.
+	phaseSplit bool
+	postVCs    int
+
+	meter     *energy.Meter
+	switchPJ  float64 // dynamic energy per flit traversal
+	nominated []nomination
+}
+
+// nomination is a per-cycle SA request from an input VC.
+type nomination struct {
+	inPort, inVC   int16
+	outPort, outVC int16
+}
+
+// NewSwitch constructs a switch with no ports. Ports are added with
+// AddInputPort/AddOutputPort before simulation starts.
+func NewSwitch(id sim.SwitchID, vcs, depth, flitBits int, switchPJPerBit float64, m *energy.Meter) *Switch {
+	return &Switch{
+		ID:       id,
+		vcCount:  vcs,
+		depth:    depth,
+		flitBits: flitBits,
+		meter:    m,
+		switchPJ: switchPJPerBit * float64(flitBits),
+	}
+}
+
+// AddInputPort appends an input port whose freed buffer slots are returned
+// to credit. It returns the port index.
+func (s *Switch) AddInputPort(credit CreditSink) int {
+	p := &InputPort{vcs: make([]inputVC, s.vcCount), credit: credit}
+	for i := range p.vcs {
+		p.vcs[i].buf = newFlitRing(s.depth)
+	}
+	s.in = append(s.in, p)
+	return len(s.in) - 1
+}
+
+// AddOutputPort appends an output port feeding the conduit, with the given
+// initial per-VC downstream credits. It returns the port index.
+func (s *Switch) AddOutputPort(c Conduit, credits int) int {
+	p := &OutputPort{vcs: make([]outputVC, s.vcCount), conduit: c, maxCredits: int16(credits)}
+	for i := range p.vcs {
+		p.vcs[i].holderPort = -1
+		p.vcs[i].holderVC = -1
+		p.vcs[i].credits = int16(credits)
+	}
+	s.out = append(s.out, p)
+	return len(s.out) - 1
+}
+
+// SetForwarding installs the forwarding table (one entry per endpoint).
+func (s *Switch) SetForwarding(fwd []PortHop) { s.fwd = fwd }
+
+// SetPhaseSplit enables VC class partitioning by wireless phase, giving the
+// post-wireless class the top post VCs. Post-wireless mesh segments are
+// short (destination WI to final node), so a small class suffices.
+func (s *Switch) SetPhaseSplit(on bool, post int) {
+	if post < 1 {
+		post = 1
+	}
+	if post >= s.vcCount {
+		post = s.vcCount - 1
+	}
+	s.phaseSplit = on
+	s.postVCs = post
+}
+
+// vcRange returns the output-VC interval a flit in the given phase may use.
+func (s *Switch) vcRange(phase uint8) (lo, hi int) {
+	if !s.phaseSplit {
+		return 0, s.vcCount
+	}
+	split := s.vcCount - s.postVCs
+	if phase == 0 {
+		return 0, split
+	}
+	return split, s.vcCount
+}
+
+// SetInputCredit installs the credit sink of an input port after the fact
+// (used when the sink is constructed after the port, e.g. endpoints).
+func (s *Switch) SetInputCredit(port int, c CreditSink) { s.in[port].credit = c }
+
+// SetOutputConduit installs the conduit of an output port after the fact.
+func (s *Switch) SetOutputConduit(port int, c Conduit) { s.out[port].conduit = c }
+
+// InputPorts returns the number of input ports.
+func (s *Switch) InputPorts() int { return len(s.in) }
+
+// OutputPorts returns the number of output ports.
+func (s *Switch) OutputPorts() int { return len(s.out) }
+
+// VCs returns the per-port virtual channel count.
+func (s *Switch) VCs() int { return s.vcCount }
+
+// Output returns output port i (engine/fabric wiring hook).
+func (s *Switch) Output(i int) *OutputPort { return s.out[i] }
+
+// Receive enqueues a flit arriving on the given input port and VC. The
+// credit protocol guarantees buffer space; violation indicates a simulator
+// bug and panics.
+func (s *Switch) Receive(port int, vc int, f Flit) {
+	ivc := &s.in[port].vcs[vc]
+	if !ivc.buf.push(f) {
+		panic(fmt.Sprintf("noc: switch %d port %d vc %d buffer overflow (pkt %d seq %d): credit protocol violated",
+			s.ID, port, vc, f.Pkt.ID, f.Seq))
+	}
+}
+
+// ReturnCredit restores one downstream credit to output port port, VC vc.
+func (s *Switch) ReturnCredit(port, vc int) {
+	op := s.out[port]
+	op.vcs[vc].credits++
+	if op.vcs[vc].credits > op.maxCredits {
+		panic(fmt.Sprintf("noc: switch %d out port %d vc %d credit overflow", s.ID, port, vc))
+	}
+}
+
+// TickSAST performs switch allocation and traversal: each input port
+// nominates one ready VC (round-robin), each output port grants one
+// nominee (round-robin) and the winning flit traverses to the conduit.
+func (s *Switch) TickSAST(now sim.Cycle) {
+	s.nominated = s.nominated[:0]
+
+	// Stage 1: input-port nomination.
+	for ipIdx, ip := range s.in {
+		n := len(ip.vcs)
+		for k := 0; k < n; k++ {
+			vcIdx := (ip.rrNom + k) % n
+			vc := &ip.vcs[vcIdx]
+			if vc.state != vcActive || vc.buf.len() == 0 {
+				continue
+			}
+			op := s.out[vc.outPort]
+			if op.vcs[vc.outVC].credits <= 0 {
+				continue
+			}
+			if !op.conduit.CanAccept(now) {
+				continue
+			}
+			s.nominated = append(s.nominated, nomination{
+				inPort: int16(ipIdx), inVC: int16(vcIdx),
+				outPort: vc.outPort, outVC: vc.outVC,
+			})
+			ip.rrNom = (vcIdx + 1) % n
+			break
+		}
+	}
+
+	// Stage 2: output-port grant + traversal.
+	for opIdx, op := range s.out {
+		var cands []nomination
+		for _, nm := range s.nominated {
+			if int(nm.outPort) == opIdx {
+				cands = append(cands, nm)
+			}
+		}
+		if len(cands) == 0 {
+			continue
+		}
+		// Round-robin among candidate input VCs, keyed by inPort*VCs+inVC.
+		best := -1
+		bestKey := 0
+		for i, nm := range cands {
+			key := int(nm.inPort)*s.vcCount + int(nm.inVC)
+			rel := (key - op.rrSA + s.inKeySpace()) % s.inKeySpace()
+			if best == -1 || rel < bestKey {
+				best, bestKey = i, rel
+			}
+		}
+		nm := cands[best]
+		op.rrSA = (int(nm.inPort)*s.vcCount + int(nm.inVC) + 1) % s.inKeySpace()
+		s.traverse(now, nm)
+	}
+}
+
+func (s *Switch) inKeySpace() int { return len(s.in)*s.vcCount + 1 }
+
+// traverse moves one flit from an input VC to its output conduit.
+func (s *Switch) traverse(now sim.Cycle, nm nomination) {
+	ip := s.in[nm.inPort]
+	vc := &ip.vcs[nm.inVC]
+	op := s.out[nm.outPort]
+	ovc := &op.vcs[nm.outVC]
+
+	f, ok := vc.buf.pop()
+	if !ok {
+		panic(fmt.Sprintf("noc: switch %d SA popped empty vc", s.ID))
+	}
+	f.VC = nm.outVC
+	ovc.credits--
+	nextHop := vc.nextHop
+
+	// Dynamic switch energy, attributed to the packet.
+	pj := s.meter.AddDynamic(energy.ClassSwitch, s.flitBits, s.switchPJ)
+	f.Pkt.AddEnergy(pj)
+	if f.IsHead() {
+		f.Pkt.Hops++
+	}
+
+	if f.IsTail() {
+		// Release the output VC and rearm the input VC for the next packet.
+		ovc.holderPort = -1
+		ovc.holderVC = -1
+		vc.state = vcIdle
+		vc.outPort, vc.outVC = -1, -1
+		vc.nextHop = sim.NoSwitch
+	}
+
+	op.conduit.Accept(now, f, nextHop)
+
+	// The freed buffer slot returns upstream as a credit.
+	if ip.credit != nil {
+		ip.credit.ReturnCredit(now, int(nm.inVC))
+	}
+}
+
+// TickVA performs VC allocation: every routed input VC waiting for an
+// output VC requests one at its output port; free output VCs are granted
+// round-robin.
+func (s *Switch) TickVA(now sim.Cycle) {
+	for opIdx, op := range s.out {
+		// Collect requesters for this output port, in a stable order.
+		type req struct{ ipIdx, vcIdx int }
+		var reqs []req
+		for ipIdx, ip := range s.in {
+			for vcIdx := range ip.vcs {
+				vc := &ip.vcs[vcIdx]
+				if vc.state == vcWaitVC && int(vc.outPort) == opIdx && vc.routedAt < now {
+					reqs = append(reqs, req{ipIdx, vcIdx})
+				}
+			}
+		}
+		if len(reqs) == 0 {
+			continue
+		}
+		// Rotate requesters by the round-robin pointer for fairness.
+		keyOf := func(r req) int { return r.ipIdx*s.vcCount + r.vcIdx }
+		next := 0
+		granted := make([]bool, len(reqs))
+		for ovcIdx := range op.vcs {
+			ovc := &op.vcs[ovcIdx]
+			if ovc.holderPort != -1 {
+				continue
+			}
+			// Find the next ungranted requester at/after rrVA whose VC
+			// class permits this output VC.
+			best, bestRel := -1, 0
+			for i, r := range reqs {
+				if granted[i] {
+					continue
+				}
+				lo, hi := s.vcRange(s.in[r.ipIdx].vcs[r.vcIdx].phase)
+				if ovcIdx < lo || ovcIdx >= hi {
+					continue
+				}
+				rel := (keyOf(r) - op.rrVA + s.inKeySpace()) % s.inKeySpace()
+				if best == -1 || rel < bestRel {
+					best, bestRel = i, rel
+				}
+			}
+			if best == -1 {
+				continue
+			}
+			r := reqs[best]
+			granted[best] = true
+			vc := &s.in[r.ipIdx].vcs[r.vcIdx]
+			vc.state = vcActive
+			vc.outVC = int16(ovcIdx)
+			ovc.holderPort = int16(r.ipIdx)
+			ovc.holderVC = int16(r.vcIdx)
+			next = keyOf(r) + 1
+		}
+		if next > 0 {
+			op.rrVA = next % s.inKeySpace()
+		}
+	}
+}
+
+// TickRC performs route computation for input VCs whose head-of-buffer flit
+// opens a new packet.
+func (s *Switch) TickRC(now sim.Cycle) {
+	for _, ip := range s.in {
+		for vcIdx := range ip.vcs {
+			vc := &ip.vcs[vcIdx]
+			if vc.state != vcIdle {
+				continue
+			}
+			f, ok := vc.buf.peek()
+			if !ok || !f.IsHead() {
+				continue
+			}
+			hop := s.fwd[f.Pkt.Dst]
+			vc.outPort = hop.Port
+			vc.nextHop = hop.Next
+			vc.phase = f.Phase
+			vc.state = vcWaitVC
+			vc.routedAt = now
+		}
+	}
+}
+
+// BufferedFlits returns the total flits currently buffered (test hook).
+func (s *Switch) BufferedFlits() int {
+	total := 0
+	for _, ip := range s.in {
+		for i := range ip.vcs {
+			total += ip.vcs[i].buf.len()
+		}
+	}
+	return total
+}

@@ -1,0 +1,121 @@
+package route
+
+import (
+	"fmt"
+
+	"wimc/internal/sim"
+	"wimc/internal/topo"
+)
+
+// CheckDeadlockFree verifies that the routing function cannot deadlock under
+// wormhole switching by building the channel dependency graph (CDG) and
+// checking it for cycles (Dally & Seitz). A channel is a directed
+// switch-to-switch hop; channel (u→v) depends on (v→w) whenever some route
+// traverses u→v→w consecutively. Acyclic CDG ⇒ deadlock-free routing.
+//
+// On wireless topologies the check models the simulator's VC phase classes:
+// virtual channels are partitioned between pre-wireless and post-wireless
+// travel, so a mesh hop is a different channel before and after the
+// packet's wireless hop, and wireless hops form their own class. This
+// layering is what makes wireless shortcut routing safe.
+//
+// All switch pairs are considered as source/destination, which over-covers
+// the actual endpoint-attached switches (conservative).
+func CheckDeadlockFree(g *topo.Graph, t *Tables) error {
+	n := g.SwitchCount()
+	phased := g.HasWireless()
+	// Channel key: ((u*n)+v)*3 + class; class 0 = pre-wireless VC class,
+	// 1 = post-wireless VC class, 2 = wireless medium.
+	chanID := func(u, v sim.SwitchID, class int) int {
+		return (int(u)*n+int(v))*3 + class
+	}
+
+	deps := make(map[int][]int, n*4)
+	seen := make(map[[2]int]bool, n*8)
+	used := make(map[int]bool, n*4)
+
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s == d {
+				continue
+			}
+			prevChan := -1
+			cur := sim.SwitchID(s)
+			phase := 0
+			steps := 0
+			for cur != sim.SwitchID(d) {
+				nxt := t.Next[cur][d]
+				if nxt == sim.NoSwitch || nxt == cur {
+					return fmt.Errorf("route: no progress from %d toward %d", cur, d)
+				}
+				class := 0
+				if phased {
+					if t.IsWireless(cur, nxt) {
+						class = 2
+					} else {
+						class = phase
+					}
+				}
+				c := chanID(cur, nxt, class)
+				used[c] = true
+				if prevChan >= 0 {
+					key := [2]int{prevChan, c}
+					if !seen[key] {
+						seen[key] = true
+						deps[prevChan] = append(deps[prevChan], c)
+					}
+				}
+				if phased && t.IsWireless(cur, nxt) {
+					phase = 1
+				}
+				prevChan = c
+				cur = nxt
+				steps++
+				if steps > 4*n {
+					return fmt.Errorf("route: routing loop from %d to %d", s, d)
+				}
+			}
+		}
+	}
+
+	// Iterative DFS cycle detection over the CDG.
+	const (
+		white = 0
+		gray  = 1
+		black = 2
+	)
+	color := make(map[int]int, len(used))
+	describe := func(c int) string {
+		uv := c / 3
+		return fmt.Sprintf("%d->%d (class %d)", uv/n, uv%n, c%3)
+	}
+	type frame struct {
+		c    int
+		next int
+	}
+	for start := range used {
+		if color[start] != white {
+			continue
+		}
+		stack := []frame{{c: start}}
+		color[start] = gray
+		for len(stack) > 0 {
+			f := &stack[len(stack)-1]
+			if f.next < len(deps[f.c]) {
+				nc := deps[f.c][f.next]
+				f.next++
+				switch color[nc] {
+				case gray:
+					return fmt.Errorf("route: channel dependency cycle through hop %s", describe(nc))
+				case white:
+					color[nc] = gray
+					stack = append(stack, frame{c: nc})
+				}
+				continue
+			}
+			color[f.c] = black
+			stack = stack[:len(stack)-1]
+		}
+	}
+	return nil
+}

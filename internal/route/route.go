@@ -1,0 +1,424 @@
+// Package route computes forwarding tables for the multichip network.
+//
+// Two modes are provided (DESIGN.md §5.2):
+//
+//   - RouteShortest (default): true per-source shortest paths computed by
+//     Dijkstra's algorithm with deterministic tie-breaking that prefers
+//     horizontal wired hops, then vertical wired hops, then I/O links, then
+//     wireless hops. Inside a chip mesh this degenerates to XY routing,
+//     which is deadlock-free; global deadlock safety is verified with an
+//     explicit channel-dependency-graph check.
+//
+//   - RouteTree: all traffic follows a single shortest-path tree rooted at
+//     a seeded-random switch — the paper's literal description, which is
+//     trivially deadlock-free because tree paths have no cyclic channel
+//     dependencies.
+//
+// Wireless interfaces form a full graph: every WI pair is one hop at a
+// configurable routing weight.
+package route
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"sort"
+
+	"wimc/internal/config"
+	"wimc/internal/sim"
+	"wimc/internal/topo"
+)
+
+// Tables holds next-hop forwarding state at switch granularity.
+type Tables struct {
+	Mode config.RoutingMode
+	// Next[s][d] is the next switch on the route from s to d; Next[d][d] = d.
+	Next [][]sim.SwitchID
+	// Dist[s][d] is the routed path cost (sum of hop weights).
+	Dist [][]int32
+	// Root is the tree root in RouteTree mode, or sim.NoSwitch.
+	Root sim.SwitchID
+	// Wireless[u][v] reports whether the hop u->v is a wireless hop.
+	wireless map[[2]sim.SwitchID]bool
+}
+
+// arc is one directed adjacency used by the router computation.
+type arc struct {
+	to       sim.SwitchID
+	weight   int32
+	rank     int // tie-break priority: lower is preferred
+	wireless bool
+}
+
+// Tie-break ranks.
+const (
+	rankHorizontal = iota
+	rankVertical
+	rankIO
+	rankWireless
+)
+
+// Build computes forwarding tables for the graph using its configuration.
+func Build(g *topo.Graph) (*Tables, error) {
+	adj, wmap, err := adjacency(g)
+	if err != nil {
+		return nil, err
+	}
+	// Memory logic dies are endpoints, not routers: paths may start or end
+	// there but never pass through (their wide-I/O spurs would otherwise
+	// become mesh shortcuts).
+	transit := make([]bool, g.SwitchCount())
+	for i, n := range g.Nodes {
+		transit[i] = n.Kind != topo.KindMemLogic
+	}
+	t := &Tables{
+		Mode:     g.Cfg.Routing,
+		Root:     sim.NoSwitch,
+		wireless: wmap,
+	}
+	switch g.Cfg.Routing {
+	case config.RouteShortest:
+		if g.Cfg.Arch == config.ArchSubstrate {
+			// Single serial links around the chip ring deadlock under
+			// unrestricted minimal routing; use chip-level dimension order.
+			err = t.buildSubstrateHier(g, adj)
+		} else {
+			err = t.buildShortest(g, adj, transit)
+		}
+	case config.RouteTree:
+		err = t.buildTree(g, adj, transit)
+	default:
+		err = fmt.Errorf("route: unknown routing mode %q", g.Cfg.Routing)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return t, nil
+}
+
+// IsWireless reports whether the hop from u to v crosses the wireless fabric.
+func (t *Tables) IsWireless(u, v sim.SwitchID) bool {
+	return t.wireless[[2]sim.SwitchID{u, v}]
+}
+
+// Path returns the switch sequence from s to d (inclusive).
+func (t *Tables) Path(s, d sim.SwitchID) []sim.SwitchID {
+	path := []sim.SwitchID{s}
+	cur := s
+	for cur != d {
+		nxt := t.Next[cur][d]
+		if nxt == sim.NoSwitch || nxt == cur {
+			return nil
+		}
+		path = append(path, nxt)
+		cur = nxt
+		if len(path) > len(t.Next)+1 {
+			return nil // defensive: would indicate a routing loop
+		}
+	}
+	return path
+}
+
+// HopCount returns the number of hops from s to d, or -1 if unreachable.
+func (t *Tables) HopCount(s, d sim.SwitchID) int {
+	p := t.Path(s, d)
+	if p == nil {
+		return -1
+	}
+	return len(p) - 1
+}
+
+// adjacency constructs directed arcs from the wired edges plus the wireless
+// full graph among WI switches.
+func adjacency(g *topo.Graph) ([][]arc, map[[2]sim.SwitchID]bool, error) {
+	n := g.SwitchCount()
+	adj := make([][]arc, n)
+	addDirected := func(a, b sim.SwitchID, w int32, rank int, wl bool) {
+		adj[a] = append(adj[a], arc{to: b, weight: w, rank: rank, wireless: wl})
+	}
+	for _, e := range g.Edges {
+		var rank int
+		switch e.Kind {
+		case topo.EdgeMesh, topo.EdgeInterposer:
+			if g.Nodes[e.A].GY == g.Nodes[e.B].GY {
+				rank = rankHorizontal
+			} else {
+				rank = rankVertical
+			}
+		default:
+			rank = rankIO
+		}
+		w := int32(e.Latency)
+		if w < 1 {
+			w = 1
+		}
+		addDirected(e.A, e.B, w, rank, false)
+		addDirected(e.B, e.A, w, rank, false)
+	}
+	wmap := make(map[[2]sim.SwitchID]bool, len(g.WISwitches)*len(g.WISwitches))
+	ww := int32(g.Cfg.WirelessHopWeight)
+	if ww < 1 {
+		ww = 1
+	}
+	for i, a := range g.WISwitches {
+		for j, b := range g.WISwitches {
+			if i == j {
+				continue
+			}
+			addDirected(a, b, ww, rankWireless, true)
+			wmap[[2]sim.SwitchID{a, b}] = true
+		}
+	}
+	// Deterministic neighbor order: tie-break rank, then target ID.
+	for s := range adj {
+		as := adj[s]
+		sort.Slice(as, func(i, j int) bool {
+			if as[i].rank != as[j].rank {
+				return as[i].rank < as[j].rank
+			}
+			return as[i].to < as[j].to
+		})
+	}
+	return adj, wmap, nil
+}
+
+// buildShortest fills the tables with per-source shortest paths: for every
+// destination d a reverse Dijkstra yields dist(·, d); the next hop from s is
+// the first neighbor (in tie-break order) on a shortest path.
+func (t *Tables) buildShortest(g *topo.Graph, adj [][]arc, transit []bool) error {
+	n := g.SwitchCount()
+	t.Next = newTable(n, sim.NoSwitch)
+	t.Dist = newDist(n)
+	for d := 0; d < n; d++ {
+		dist := dijkstra(adj, sim.SwitchID(d), transit)
+		for s := 0; s < n; s++ {
+			t.Dist[s][d] = dist[s]
+			if s == d {
+				t.Next[s][d] = sim.SwitchID(d)
+				continue
+			}
+			if dist[s] == unreachable {
+				return fmt.Errorf("route: switch %d cannot reach switch %d", s, d)
+			}
+			for _, a := range adj[s] {
+				if dist[a.to] != unreachable && dist[a.to]+a.weight == dist[s] {
+					t.Next[s][d] = a.to
+					break
+				}
+			}
+			if t.Next[s][d] == sim.NoSwitch {
+				return fmt.Errorf("route: no next hop from %d to %d", s, d)
+			}
+		}
+	}
+	return nil
+}
+
+// buildTree fills the tables with single-tree routing: a shortest-path tree
+// is grown from a seeded-random root and every route follows tree paths.
+func (t *Tables) buildTree(g *topo.Graph, adj [][]arc, transit []bool) error {
+	n := g.SwitchCount()
+	rng := sim.NewRand(g.Cfg.Seed).Derive("route-tree-root")
+	// The root must be a transitable switch (not a memory leaf).
+	var root sim.SwitchID
+	for {
+		root = sim.SwitchID(rng.Intn(n))
+		if transit[root] {
+			break
+		}
+	}
+	t.Root = root
+
+	parent, depth, distRoot := spTree(adj, root, transit)
+	for s := 0; s < n; s++ {
+		if s != int(root) && parent[s] == sim.NoSwitch {
+			return fmt.Errorf("route: tree mode: switch %d unreachable from root %d", s, root)
+		}
+	}
+
+	// Ancestor test via Euler tour intervals.
+	tin, tout := eulerTimes(parent, n, root)
+	isAncestor := func(a, b sim.SwitchID) bool { // a ancestor-of-or-equal b
+		return tin[a] <= tin[b] && tout[b] <= tout[a]
+	}
+
+	t.Next = newTable(n, sim.NoSwitch)
+	t.Dist = newDist(n)
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			ss, dd := sim.SwitchID(s), sim.SwitchID(d)
+			if ss == dd {
+				t.Next[s][d] = dd
+				t.Dist[s][d] = 0
+				continue
+			}
+			if isAncestor(ss, dd) {
+				// Descend: the next hop is d's ancestor chain child of s.
+				c := dd
+				for parent[c] != ss {
+					c = parent[c]
+				}
+				t.Next[s][d] = c
+			} else {
+				t.Next[s][d] = parent[s]
+			}
+			// Path cost via the lowest common ancestor.
+			l := lca(ss, dd, parent, depth, isAncestor)
+			t.Dist[s][d] = distRoot[s] + distRoot[d] - 2*distRoot[l]
+		}
+	}
+	return nil
+}
+
+func lca(a, b sim.SwitchID, parent []sim.SwitchID, depth []int32,
+	isAncestor func(a, b sim.SwitchID) bool) sim.SwitchID {
+	for !isAncestor(a, b) {
+		a = parent[a]
+	}
+	_ = depth
+	return a
+}
+
+const unreachable = int32(math.MaxInt32 / 4)
+
+// dijkstra returns shortest distances from src over the directed arcs.
+// Nodes with transit[i] == false are only expanded at the source (they are
+// endpoints, never intermediate hops).
+func dijkstra(adj [][]arc, src sim.SwitchID, transit []bool) []int32 {
+	n := len(adj)
+	dist := make([]int32, n)
+	for i := range dist {
+		dist[i] = unreachable
+	}
+	dist[src] = 0
+	pq := &distHeap{{node: src, dist: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		if it.node != src && !transit[it.node] {
+			continue
+		}
+		for _, a := range adj[it.node] {
+			nd := it.dist + a.weight
+			if nd < dist[a.to] {
+				dist[a.to] = nd
+				heap.Push(pq, distItem{node: a.to, dist: nd})
+			}
+		}
+	}
+	return dist
+}
+
+// spTree grows a shortest-path tree from root, returning parent pointers,
+// depths and root distances. Tie-breaks follow the deterministic arc order.
+// Non-transit nodes become leaves.
+func spTree(adj [][]arc, root sim.SwitchID, transit []bool) (parent []sim.SwitchID, depth, dist []int32) {
+	n := len(adj)
+	parent = make([]sim.SwitchID, n)
+	depth = make([]int32, n)
+	dist = make([]int32, n)
+	for i := range parent {
+		parent[i] = sim.NoSwitch
+		dist[i] = unreachable
+	}
+	dist[root] = 0
+	pq := &distHeap{{node: root, dist: 0}}
+	for pq.Len() > 0 {
+		it := heap.Pop(pq).(distItem)
+		if it.dist > dist[it.node] {
+			continue
+		}
+		if it.node != root && !transit[it.node] {
+			continue
+		}
+		for _, a := range adj[it.node] {
+			nd := it.dist + a.weight
+			if nd < dist[a.to] {
+				dist[a.to] = nd
+				parent[a.to] = it.node
+				depth[a.to] = depth[it.node] + 1
+				heap.Push(pq, distItem{node: a.to, dist: nd})
+			}
+		}
+	}
+	return parent, depth, dist
+}
+
+// eulerTimes computes entry/exit times of the tree rooted at root.
+func eulerTimes(parent []sim.SwitchID, n int, root sim.SwitchID) (tin, tout []int32) {
+	children := make([][]sim.SwitchID, n)
+	for c, p := range parent {
+		if p != sim.NoSwitch {
+			children[p] = append(children[p], sim.SwitchID(c))
+		}
+	}
+	tin = make([]int32, n)
+	tout = make([]int32, n)
+	var clock int32
+	// Iterative DFS to avoid recursion depth concerns.
+	type frame struct {
+		node sim.SwitchID
+		next int
+	}
+	stack := []frame{{node: root}}
+	tin[root] = clock
+	clock++
+	for len(stack) > 0 {
+		f := &stack[len(stack)-1]
+		if f.next < len(children[f.node]) {
+			c := children[f.node][f.next]
+			f.next++
+			tin[c] = clock
+			clock++
+			stack = append(stack, frame{node: c})
+			continue
+		}
+		tout[f.node] = clock
+		clock++
+		stack = stack[:len(stack)-1]
+	}
+	return tin, tout
+}
+
+func newTable(n int, fill sim.SwitchID) [][]sim.SwitchID {
+	t := make([][]sim.SwitchID, n)
+	flat := make([]sim.SwitchID, n*n)
+	for i := range flat {
+		flat[i] = fill
+	}
+	for i := range t {
+		t[i] = flat[i*n : (i+1)*n]
+	}
+	return t
+}
+
+func newDist(n int) [][]int32 {
+	t := make([][]int32, n)
+	flat := make([]int32, n*n)
+	for i := range t {
+		t[i] = flat[i*n : (i+1)*n]
+	}
+	return t
+}
+
+type distItem struct {
+	node sim.SwitchID
+	dist int32
+}
+
+type distHeap []distItem
+
+func (h distHeap) Len() int { return len(h) }
+func (h distHeap) Less(i, j int) bool {
+	if h[i].dist != h[j].dist {
+		return h[i].dist < h[j].dist
+	}
+	return h[i].node < h[j].node
+}
+func (h distHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *distHeap) Push(x any)   { *h = append(*h, x.(distItem)) }
+func (h *distHeap) Pop() any     { old := *h; n := len(old); it := old[n-1]; *h = old[:n-1]; return it }
+
+var _ heap.Interface = (*distHeap)(nil)

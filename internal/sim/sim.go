@@ -1,0 +1,137 @@
+// Package sim provides the shared primitives of the wimc cycle-accurate
+// simulator: identifier types, the deterministic random source, and
+// fixed-point rate arithmetic used by bandwidth-limited links.
+package sim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+)
+
+// SwitchID identifies a switch (router) in the network graph.
+type SwitchID int32
+
+// EndpointID identifies a traffic endpoint (a processor core or a DRAM
+// channel) attached to a switch local port.
+type EndpointID int32
+
+// NoSwitch is the sentinel for "no switch".
+const NoSwitch SwitchID = -1
+
+// NoEndpoint is the sentinel for "no endpoint".
+const NoEndpoint EndpointID = -1
+
+// Cycle is a simulation time stamp measured in core clock cycles.
+type Cycle = int64
+
+// Rand is the deterministic random source used throughout a simulation.
+// All randomness in a run derives from a single seed so that identical
+// configurations replay identically.
+type Rand struct {
+	*rand.Rand
+	seed uint64
+}
+
+// NewRand returns a Rand seeded with seed.
+func NewRand(seed uint64) *Rand {
+	return &Rand{Rand: rand.New(rand.NewSource(int64(seed))), seed: seed}
+}
+
+// Seed returns the seed this source was created with.
+func (r *Rand) Seed() uint64 { return r.seed }
+
+// Derive returns an independent Rand whose seed is a stable hash of this
+// source's seed and name. Use it to give subsystems (traffic, placement,
+// arbitration salt) decoupled but reproducible streams.
+func (r *Rand) Derive(name string) *Rand {
+	h := fnv.New64a()
+	var b [8]byte
+	for i := 0; i < 8; i++ {
+		b[i] = byte(r.seed >> (8 * i))
+	}
+	_, _ = h.Write(b[:])
+	_, _ = h.Write([]byte(name))
+	return NewRand(h.Sum64())
+}
+
+// rateScale is the fixed-point denominator for link-rate token buckets.
+const rateScale = 1 << 20
+
+// Rate is a link bandwidth expressed in flits per cycle as a fixed-point
+// fraction. A Rate of RateOne transfers one flit every cycle.
+type Rate int64
+
+// RateOne is the full port rate: one flit per cycle.
+const RateOne Rate = rateScale
+
+// RateFromFlitsPerCycle converts a flits-per-cycle fraction to a Rate,
+// capped at RateOne (a port is one flit wide).
+func RateFromFlitsPerCycle(f float64) Rate {
+	if f <= 0 {
+		return 0
+	}
+	r := Rate(f * rateScale)
+	if r > RateOne {
+		r = RateOne
+	}
+	if r == 0 {
+		r = 1 // never fully starve a configured link
+	}
+	return r
+}
+
+// RateFromGbps converts a raw data rate to flits per cycle given the flit
+// width in bits and the core clock in GHz.
+func RateFromGbps(gbps float64, flitBits int, clockGHz float64) Rate {
+	if flitBits <= 0 || clockGHz <= 0 {
+		return 0
+	}
+	return RateFromFlitsPerCycle(gbps / (float64(flitBits) * clockGHz))
+}
+
+// FlitsPerCycle reports the rate as a float for display.
+func (r Rate) FlitsPerCycle() float64 { return float64(r) / rateScale }
+
+// TokenBucket meters a bandwidth-limited resource. Each cycle Refill adds
+// the configured rate; TrySpend consumes one flit's worth of tokens when
+// available. Accumulation is capped at one flit so idle links do not bank
+// unbounded bursts.
+type TokenBucket struct {
+	rate   Rate
+	tokens Rate
+}
+
+// NewTokenBucket returns a bucket with the given rate, starting full so the
+// first flit is never artificially delayed.
+func NewTokenBucket(rate Rate) TokenBucket {
+	return TokenBucket{rate: rate, tokens: RateOne}
+}
+
+// Refill adds one cycle's worth of tokens.
+func (b *TokenBucket) Refill() {
+	b.tokens += b.rate
+	if b.tokens > 2*RateOne {
+		b.tokens = 2 * RateOne
+	}
+}
+
+// CanSpend reports whether a full flit of tokens is available.
+func (b *TokenBucket) CanSpend() bool { return b.tokens >= RateOne }
+
+// TrySpend consumes one flit of tokens, reporting whether it succeeded.
+func (b *TokenBucket) TrySpend() bool {
+	if b.tokens < RateOne {
+		return false
+	}
+	b.tokens -= RateOne
+	return true
+}
+
+// Rate returns the configured refill rate.
+func (b *TokenBucket) Rate() Rate { return b.rate }
+
+// Validatef returns a formatted validation error.
+func Validatef(format string, args ...any) error {
+	return fmt.Errorf("wimc: invalid configuration: "+format, args...)
+}

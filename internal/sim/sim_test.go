@@ -1,0 +1,165 @@
+package sim
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestRandDeterminism(t *testing.T) {
+	a := NewRand(42)
+	b := NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatalf("same seed diverged at draw %d", i)
+		}
+	}
+}
+
+func TestRandDifferentSeedsDiffer(t *testing.T) {
+	a, b := NewRand(1), NewRand(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Int63() == b.Int63() {
+			same++
+		}
+	}
+	if same > 2 {
+		t.Fatalf("different seeds produced %d/100 identical draws", same)
+	}
+}
+
+func TestRandDeriveIndependentStreams(t *testing.T) {
+	root := NewRand(7)
+	a := root.Derive("traffic")
+	b := root.Derive("wireless")
+	c := NewRand(7).Derive("traffic")
+	if a.Seed() == b.Seed() {
+		t.Fatal("derived streams share a seed")
+	}
+	if a.Seed() != c.Seed() {
+		t.Fatal("derivation is not stable across equal roots")
+	}
+	if a.Seed() == root.Seed() {
+		t.Fatal("derived stream equals root seed")
+	}
+}
+
+func TestRateFromGbps(t *testing.T) {
+	tests := []struct {
+		name  string
+		gbps  float64
+		bits  int
+		clock float64
+		want  float64 // flits per cycle
+	}{
+		{"full port", 80, 32, 2.5, 1.0},
+		{"serial 15G", 15, 32, 2.5, 0.1875},
+		{"interposer 12G", 12, 32, 2.5, 0.15},
+		{"wireless 16G", 16, 32, 2.5, 0.2},
+		{"over port rate caps", 128, 32, 2.5, 1.0},
+		{"zero", 0, 32, 2.5, 0},
+	}
+	for _, tc := range tests {
+		t.Run(tc.name, func(t *testing.T) {
+			got := RateFromGbps(tc.gbps, tc.bits, tc.clock).FlitsPerCycle()
+			if math.Abs(got-tc.want) > 1e-4 {
+				t.Fatalf("RateFromGbps(%v) = %v flits/cycle, want %v", tc.gbps, got, tc.want)
+			}
+		})
+	}
+}
+
+func TestRateInvalidInputs(t *testing.T) {
+	if r := RateFromGbps(10, 0, 2.5); r != 0 {
+		t.Fatalf("zero flit bits: got %v, want 0", r)
+	}
+	if r := RateFromGbps(10, 32, 0); r != 0 {
+		t.Fatalf("zero clock: got %v, want 0", r)
+	}
+	if r := RateFromFlitsPerCycle(-1); r != 0 {
+		t.Fatalf("negative rate: got %v, want 0", r)
+	}
+}
+
+func TestRateTinyNeverZero(t *testing.T) {
+	// A configured link must never be fully starved by rounding.
+	if r := RateFromFlitsPerCycle(1e-12); r == 0 {
+		t.Fatal("tiny positive rate rounded to zero")
+	}
+}
+
+func TestTokenBucketFullRate(t *testing.T) {
+	b := NewTokenBucket(RateOne)
+	sent := 0
+	for i := 0; i < 100; i++ {
+		b.Refill()
+		if b.TrySpend() {
+			sent++
+		}
+	}
+	if sent != 100 {
+		t.Fatalf("full-rate bucket sent %d/100", sent)
+	}
+}
+
+func TestTokenBucketFractionalRate(t *testing.T) {
+	// 0.1875 flits/cycle (the 15 Gbps serial link): over N cycles at most
+	// ceil(N*0.1875)+1 transfers, and at least floor(N*0.1875).
+	b := NewTokenBucket(RateFromFlitsPerCycle(0.1875))
+	const n = 1600
+	sent := 0
+	for i := 0; i < n; i++ {
+		b.Refill()
+		if b.TrySpend() {
+			sent++
+		}
+	}
+	want := int(0.1875 * n)
+	if sent < want-1 || sent > want+2 {
+		t.Fatalf("fractional bucket sent %d over %d cycles, want ≈%d", sent, n, want)
+	}
+}
+
+func TestTokenBucketBurstBound(t *testing.T) {
+	// Idle accumulation must not bank more than ~2 flits of burst.
+	b := NewTokenBucket(RateFromFlitsPerCycle(0.5))
+	for i := 0; i < 1000; i++ {
+		b.Refill()
+	}
+	burst := 0
+	for b.TrySpend() {
+		burst++
+	}
+	if burst > 2 {
+		t.Fatalf("idle bucket banked a burst of %d flits", burst)
+	}
+}
+
+func TestTokenBucketNeverExceedsRate(t *testing.T) {
+	// Property: for random fractional rates, long-run throughput never
+	// exceeds the configured rate by more than the burst allowance.
+	check := func(rate16 uint16, n16 uint16) bool {
+		rate := float64(rate16%1000+1) / 1000.0 // (0,1]
+		n := int(n16%2000) + 100
+		b := NewTokenBucket(RateFromFlitsPerCycle(rate))
+		sent := 0
+		for i := 0; i < n; i++ {
+			b.Refill()
+			if b.TrySpend() {
+				sent++
+			}
+		}
+		return float64(sent) <= rate*float64(n)+2
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestValidatef(t *testing.T) {
+	err := Validatef("bad %s", "thing")
+	if err == nil || err.Error() != "wimc: invalid configuration: bad thing" {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}

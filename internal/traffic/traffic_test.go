@@ -1,0 +1,252 @@
+package traffic
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wimc/internal/sim"
+)
+
+// testWorld builds a 4-chip, 16-cores-per-chip world with 16 DRAM channels,
+// mirroring the 4C4M layout.
+func testWorld() World {
+	w := World{Chips: 4, GlobalCols: 8, GlobalRows: 8}
+	for gy := 0; gy < 8; gy++ {
+		for gx := 0; gx < 8; gx++ {
+			chip := (gy/4)*2 + gx/4
+			w.Cores = append(w.Cores, sim.EndpointID(len(w.Cores)))
+			w.ChipOfCore = append(w.ChipOfCore, chip)
+			w.CoreGX = append(w.CoreGX, gx)
+			w.CoreGY = append(w.CoreGY, gy)
+		}
+	}
+	for i := 0; i < 16; i++ {
+		w.MemChannels = append(w.MemChannels, sim.EndpointID(64+i))
+	}
+	return w
+}
+
+func TestWorldValidate(t *testing.T) {
+	if err := (World{}).Validate(); err == nil {
+		t.Fatal("empty world accepted")
+	}
+	w := testWorld()
+	w.ChipOfCore = w.ChipOfCore[:3]
+	if err := w.Validate(); err == nil {
+		t.Fatal("mismatched ChipOfCore accepted")
+	}
+	if err := testWorld().Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformRateAndMix(t *testing.T) {
+	w := testWorld()
+	rng := sim.NewRand(11)
+	u, err := NewUniform(w, 0.3, 0.25, 64, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cycles = 4000
+	gen, mem := 0, 0
+	for now := sim.Cycle(0); now < cycles; now++ {
+		for c := range w.Cores {
+			g, ok := u.NextFor(now, c)
+			if !ok {
+				continue
+			}
+			gen++
+			if g.Mem {
+				mem++
+				found := false
+				for _, ch := range w.MemChannels {
+					if ch == g.Dst {
+						found = true
+					}
+				}
+				if !found {
+					t.Fatalf("memory packet addressed %d: not a channel", g.Dst)
+				}
+			} else {
+				if g.Dst == w.Cores[c] {
+					t.Fatal("packet addressed to its own source")
+				}
+			}
+			if g.Flits != 64 {
+				t.Fatalf("flits = %d", g.Flits)
+			}
+		}
+	}
+	wantGen := 0.3 * cycles * 64
+	if math.Abs(float64(gen)-wantGen)/wantGen > 0.03 {
+		t.Fatalf("generated %d packets, want ≈%.0f", gen, wantGen)
+	}
+	gotMem := float64(mem) / float64(gen)
+	if math.Abs(gotMem-0.25) > 0.02 {
+		t.Fatalf("memory share %.3f, want 0.25", gotMem)
+	}
+}
+
+func TestUniformDestinationSpread(t *testing.T) {
+	// Non-memory destinations must cover every other core roughly evenly.
+	w := testWorld()
+	u, _ := NewUniform(w, 1.0, 0, 8, sim.NewRand(3))
+	counts := make(map[sim.EndpointID]int)
+	const draws = 30000
+	for i := 0; i < draws; i++ {
+		g, ok := u.NextFor(0, 0)
+		if !ok {
+			t.Fatal("rate-1 generator skipped")
+		}
+		counts[g.Dst]++
+	}
+	if len(counts) != 63 {
+		t.Fatalf("covered %d destinations, want 63", len(counts))
+	}
+	want := float64(draws) / 63
+	for d, n := range counts {
+		if math.Abs(float64(n)-want) > want*0.35 {
+			t.Fatalf("dest %d drawn %d times, want ≈%.0f", d, n, want)
+		}
+	}
+}
+
+func TestUniformValidation(t *testing.T) {
+	w := testWorld()
+	rng := sim.NewRand(1)
+	if _, err := NewUniform(w, -0.1, 0, 8, rng); err == nil {
+		t.Fatal("negative rate accepted")
+	}
+	if _, err := NewUniform(w, 2, 0, 8, rng); err == nil {
+		t.Fatal("rate > 1 accepted")
+	}
+	if _, err := NewUniform(w, 0.1, 2, 8, rng); err == nil {
+		t.Fatal("memory fraction > 1 accepted")
+	}
+	noMem := w
+	noMem.MemChannels = nil
+	if _, err := NewUniform(noMem, 0.1, 0.5, 8, rng); err == nil {
+		t.Fatal("memory traffic without channels accepted")
+	}
+	if _, err := NewUniform(noMem, 0.1, 0, 8, rng); err != nil {
+		t.Fatalf("memory-free world rejected: %v", err)
+	}
+}
+
+func TestHotspotBias(t *testing.T) {
+	w := testWorld()
+	h, err := NewHotspot(w, 1.0, 0, 0.5, 7, 8, sim.NewRand(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	hot := 0
+	const draws = 20000
+	for i := 0; i < draws; i++ {
+		g, ok := h.NextFor(0, 3)
+		if !ok {
+			t.Fatal("skip at rate 1")
+		}
+		if g.Dst == w.Cores[7] {
+			hot++
+		}
+	}
+	share := float64(hot) / draws
+	// 50% redirected plus the uniform share of the remainder.
+	if share < 0.45 || share < 0.5*0.9 {
+		t.Fatalf("hotspot share %.3f too low", share)
+	}
+	if _, err := NewHotspot(w, 1, 0, 0.5, 99, 8, sim.NewRand(1)); err == nil {
+		t.Fatal("out-of-range hotspot core accepted")
+	}
+	if _, err := NewHotspot(w, 1, 0, 1.5, 0, 8, sim.NewRand(1)); err == nil {
+		t.Fatal("hotspot fraction > 1 accepted")
+	}
+}
+
+func TestTransposePermutation(t *testing.T) {
+	w := testWorld()
+	tr, err := NewTranspose(w, 1.0, 8, sim.NewRand(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for c := range w.Cores {
+		g, ok := tr.NextFor(0, c)
+		gx, gy := w.CoreGX[c], w.CoreGY[c]
+		if gx == gy {
+			if ok {
+				t.Fatalf("diagonal core %d generated traffic", c)
+			}
+			continue
+		}
+		if !ok {
+			t.Fatalf("core %d silent", c)
+		}
+		want := w.coreIndexAt(gy, gx)
+		if g.Dst != w.Cores[want] {
+			t.Fatalf("transpose of core %d = %d, want %d", c, g.Dst, want)
+		}
+	}
+}
+
+func TestBitComplement(t *testing.T) {
+	w := testWorld()
+	b, err := NewBitComplement(w, 1.0, 8, sim.NewRand(13))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, ok := b.NextFor(0, 0)
+	if !ok || g.Dst != w.Cores[63] {
+		t.Fatalf("complement of 0 = %v, want 63", g.Dst)
+	}
+	g, ok = b.NextFor(0, 10)
+	if !ok || g.Dst != w.Cores[53] {
+		t.Fatalf("complement of 10 = %v, want 53", g.Dst)
+	}
+}
+
+func TestSourcesDeterministic(t *testing.T) {
+	w := testWorld()
+	mk := func() Source {
+		s, _ := NewUniform(w, 0.2, 0.3, 16, sim.NewRand(21))
+		return s
+	}
+	a, b := mk(), mk()
+	for now := sim.Cycle(0); now < 500; now++ {
+		for c := range w.Cores {
+			ga, oka := a.NextFor(now, c)
+			gb, okb := b.NextFor(now, c)
+			if oka != okb || ga != gb {
+				t.Fatalf("sources diverged at cycle %d core %d", now, c)
+			}
+		}
+	}
+}
+
+// TestUniformNeverSelfAddresses is a property test over arbitrary cores.
+func TestUniformNeverSelfAddresses(t *testing.T) {
+	w := testWorld()
+	u, _ := NewUniform(w, 1.0, 0.2, 8, sim.NewRand(17))
+	check := func(core16 uint16) bool {
+		c := int(core16) % len(w.Cores)
+		g, ok := u.NextFor(0, c)
+		return ok && (g.Mem || g.Dst != w.Cores[c])
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSourceNames(t *testing.T) {
+	w := testWorld()
+	rng := sim.NewRand(1)
+	u, _ := NewUniform(w, 0.1, 0, 8, rng)
+	h, _ := NewHotspot(w, 0.1, 0, 0.1, 0, 8, rng)
+	tr, _ := NewTranspose(w, 0.1, 8, rng)
+	b, _ := NewBitComplement(w, 0.1, 8, rng)
+	for _, s := range []Source{u, h, tr, b} {
+		if s.Name() == "" {
+			t.Fatal("empty source name")
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package wimc
+
+import (
+	"fmt"
+)
+
+// LoadPoint is one sample of a latency-versus-load sweep.
+type LoadPoint struct {
+	Load   float64 `json:"load"` // offered packets/core/cycle
+	Result *Result `json:"result"`
+}
+
+// LoadSweep runs the system at each offered load and returns the results in
+// order (the paper's Fig. 3 methodology: average packet latency versus
+// injection load).
+func LoadSweep(cfg Config, traffic TrafficSpec, loads []float64) ([]LoadPoint, error) {
+	if len(loads) == 0 {
+		return nil, fmt.Errorf("wimc: load sweep needs at least one load")
+	}
+	out := make([]LoadPoint, 0, len(loads))
+	for _, l := range loads {
+		t := traffic
+		t.Rate = l
+		r, err := Run(cfg, t)
+		if err != nil {
+			return nil, fmt.Errorf("wimc: load %v: %w", l, err)
+		}
+		out = append(out, LoadPoint{Load: l, Result: r})
+	}
+	return out, nil
+}
+
+// Saturate runs the system at maximum load (rate 1.0) and returns the
+// result; BandwidthPerCoreGbps is then the peak achievable bandwidth per
+// core in the paper's sense ("maximum sustainable data rate in bits
+// successfully routed per core per second at saturation with maximum
+// load").
+func Saturate(cfg Config, traffic TrafficSpec) (*Result, error) {
+	t := traffic
+	t.Rate = 1.0
+	return Run(cfg, t)
+}
+
+// Gain compares an architecture against a baseline, returning the paper's
+// percentage-gain metrics: bandwidth gain (higher is better), packet-energy
+// gain (reduction), and packet-latency gain (reduction).
+type Gain struct {
+	Name            string  `json:"name"`
+	BandwidthPct    float64 `json:"bandwidth_gain_pct"`
+	PacketEnergyPct float64 `json:"packet_energy_gain_pct"`
+	LatencyPct      float64 `json:"latency_gain_pct"`
+
+	System   *Result `json:"system"`
+	Baseline *Result `json:"baseline"`
+}
+
+// GainOver computes percentage gains of sys over base.
+func GainOver(sys, base *Result) Gain {
+	g := Gain{Name: sys.Name, System: sys, Baseline: base}
+	if base.BandwidthPerCoreGbps > 0 {
+		g.BandwidthPct = 100 * (sys.BandwidthPerCoreGbps - base.BandwidthPerCoreGbps) /
+			base.BandwidthPerCoreGbps
+	}
+	if base.AvgPacketEnergyNJ > 0 {
+		g.PacketEnergyPct = 100 * (base.AvgPacketEnergyNJ - sys.AvgPacketEnergyNJ) /
+			base.AvgPacketEnergyNJ
+	}
+	if base.AvgLatency > 0 {
+		g.LatencyPct = 100 * (base.AvgLatency - sys.AvgLatency) / base.AvgLatency
+	}
+	return g
+}
+
+// CompareAtSaturation runs every configuration at maximum load under the
+// same workload and returns the results in input order (Fig. 2
+// methodology).
+func CompareAtSaturation(cfgs []Config, traffic TrafficSpec) ([]*Result, error) {
+	out := make([]*Result, 0, len(cfgs))
+	for _, c := range cfgs {
+		r, err := Saturate(c, traffic)
+		if err != nil {
+			return nil, fmt.Errorf("wimc: %s: %w", c.Name, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,162 @@
+// Package wimc is a cycle-accurate simulator and library for wireless
+// multichip interconnection networks with in-package memory stacks,
+// reproducing Shamim et al., "Energy-Efficient Wireless Interconnection
+// Framework for Multichip Systems with In-package Memory Stacks"
+// (IEEE SOCC 2017).
+//
+// A simulated system is a 2.5D package: a grid of multicore chips (each a
+// mesh NoC of wormhole virtual-channel switches) flanked by stacked-DRAM
+// memory modules. Three interconnection architectures are modeled:
+//
+//   - Substrate: chips joined by single high-speed serial links, memory by
+//     128-bit wide I/O.
+//   - Interposer: the mesh extended across chip boundaries through
+//     µbump-limited interposer links (after Jerger et al.).
+//   - Wireless: the paper's proposal — 60 GHz mm-wave transceivers on
+//     selected switches (one per core cluster, placed at the
+//     minimum-average-distance switch) and on every memory stack's logic
+//     die, forming single-hop links between any two wireless interfaces,
+//     arbitrated by a control-packet MAC that supports partial-packet
+//     transmission and sleepy receivers.
+//
+// Quick start:
+//
+//	cfg := wimc.MustXCYM(4, 4, wimc.ArchWireless)
+//	res, err := wimc.Run(cfg, wimc.TrafficSpec{
+//		Kind:        wimc.TrafficUniform,
+//		Rate:        0.002,
+//		MemFraction: 0.2,
+//	})
+//	if err != nil { ... }
+//	fmt.Println(res.AvgLatency, res.BandwidthPerCoreGbps, res.AvgPacketEnergyNJ)
+//
+// See DESIGN.md for the modeling decisions and EXPERIMENTS.md for the
+// reproduction of every figure in the paper.
+package wimc
+
+import (
+	"io"
+
+	"wimc/internal/config"
+	"wimc/internal/engine"
+)
+
+// Config is the complete description of one simulated system. Obtain a
+// baseline from Default or XCYM and override fields as needed; Validate
+// reports inconsistencies.
+type Config = config.Config
+
+// Architecture selects the inter-chip interconnect technology.
+type Architecture = config.Architecture
+
+// Architectures. ArchHybrid (interposer wiring plus the wireless overlay)
+// is an extension beyond the paper's three systems.
+const (
+	ArchSubstrate  = config.ArchSubstrate
+	ArchInterposer = config.ArchInterposer
+	ArchWireless   = config.ArchWireless
+	ArchHybrid     = config.ArchHybrid
+)
+
+// RoutingMode selects forwarding-table construction.
+type RoutingMode = config.RoutingMode
+
+// Routing modes.
+const (
+	RouteShortest = config.RouteShortest
+	RouteTree     = config.RouteTree
+)
+
+// ChannelMode selects the wireless channel model.
+type ChannelMode = config.ChannelMode
+
+// Channel models.
+const (
+	ChannelCrossbar  = config.ChannelCrossbar
+	ChannelExclusive = config.ChannelExclusive
+)
+
+// MACMode selects the wireless medium-access protocol.
+type MACMode = config.MACMode
+
+// MAC protocols.
+const (
+	MACControlPacket = config.MACControlPacket
+	MACToken         = config.MACToken
+)
+
+// TrafficKind selects the workload generator.
+type TrafficKind = engine.TrafficKind
+
+// Workload kinds.
+const (
+	TrafficUniform       = engine.TrafficUniform
+	TrafficHotspot       = engine.TrafficHotspot
+	TrafficTranspose     = engine.TrafficTranspose
+	TrafficBitComplement = engine.TrafficBitComplement
+	TrafficApp           = engine.TrafficApp
+)
+
+// TrafficSpec parameterizes the workload of a run.
+type TrafficSpec = engine.TrafficSpec
+
+// Result summarizes one simulation run.
+type Result = engine.Result
+
+// Default returns the paper's baseline configuration (4C4M wireless:
+// 8 VCs, 16-flit buffers, 64-flit packets, 32-bit flits, 2.5 GHz).
+func Default() Config { return config.Default() }
+
+// XCYM returns a standard configuration: chips ∈ {1, 4, 8} processing chips
+// and stacks in-package memory stacks (64 cores total), under the given
+// architecture.
+func XCYM(chips, stacks int, arch Architecture) (Config, error) {
+	return config.XCYM(chips, stacks, arch)
+}
+
+// MustXCYM is XCYM for known-good literal arguments; it panics on error.
+func MustXCYM(chips, stacks int, arch Architecture) Config {
+	return config.MustXCYM(chips, stacks, arch)
+}
+
+// ParseConfig decodes a JSON configuration, applying defaults for absent
+// fields and validating the result.
+func ParseConfig(data []byte) (Config, error) { return config.Parse(data) }
+
+// System is an assembled simulation, ready to run once.
+type System struct {
+	eng *engine.Engine
+}
+
+// New assembles a system from a configuration and workload. It builds the
+// topology, computes forwarding tables, verifies deadlock freedom of the
+// routing function, and instantiates all switches, links, endpoints and
+// (for the wireless architecture) the wireless fabric.
+func New(cfg Config, traffic TrafficSpec) (*System, error) {
+	eng, err := engine.New(engine.Params{Cfg: cfg, Traffic: traffic})
+	if err != nil {
+		return nil, err
+	}
+	return &System{eng: eng}, nil
+}
+
+// Run executes the configured warmup, measurement and drain windows and
+// returns the run statistics. A System runs once; build a new one (or use
+// the package-level Run) for further runs.
+func (s *System) Run() (*Result, error) { return s.eng.Run() }
+
+// Run assembles and runs a system in one call.
+func Run(cfg Config, traffic TrafficSpec) (*Result, error) {
+	return engine.Run(engine.Params{Cfg: cfg, Traffic: traffic})
+}
+
+// NewTraced is New with a packet-level delivery trace: one JSON line per
+// delivered packet (id, endpoints, class, timing, hops, energy) is written
+// to w during the run.
+func NewTraced(cfg Config, traffic TrafficSpec, w io.Writer) (*System, error) {
+	eng, err := engine.New(engine.Params{Cfg: cfg, Traffic: traffic, Trace: w})
+	if err != nil {
+		return nil, err
+	}
+	return &System{eng: eng}, nil
+}
