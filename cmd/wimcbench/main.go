@@ -1,11 +1,13 @@
 // Command wimcbench regenerates every figure of the paper's evaluation
 // plus the DESIGN.md ablations, printing text tables and optionally writing
-// CSV files.
+// CSV files. Each figure's independent simulation runs are fanned out
+// across the machine's cores by default (tables are byte-identical to a
+// sequential run); per-figure wall times go to stderr.
 //
 // Usage:
 //
-//	wimcbench [-fig all|fig2|fig3|fig4|fig5|fig6|mac|channel|routing|sleep|density]
-//	          [-quick] [-seed N] [-csv DIR]
+//	wimcbench [-fig all|fig2|fig3|fig4|fig5|fig6|mac|channel|routing|sleep|density|hybrid|readrt]
+//	          [-quick] [-seed N] [-csv DIR] [-parallel=false] [-workers N]
 package main
 
 import (
@@ -13,16 +15,19 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"wimc/internal/figures"
 )
 
 func main() {
 	var (
-		fig   = flag.String("fig", "all", "experiment to run (all, fig2..fig6, mac, channel, routing, sleep, density)")
-		quick = flag.Bool("quick", false, "shortened simulation windows")
-		seed  = flag.Uint64("seed", 0, "override RNG seed (0 = default)")
-		csv   = flag.String("csv", "", "directory to write CSV files into")
+		fig      = flag.String("fig", "all", "experiment to run (all, fig2..fig6, mac, channel, routing, sleep, density, hybrid, readrt)")
+		quick    = flag.Bool("quick", false, "shortened simulation windows")
+		seed     = flag.Uint64("seed", 0, "override RNG seed (0 = default)")
+		csv      = flag.String("csv", "", "directory to write CSV files into")
+		parallel = flag.Bool("parallel", true, "fan independent runs out across cores (results identical either way)")
+		workers  = flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
 	)
 	flag.Parse()
 
@@ -30,20 +35,31 @@ func main() {
 	if *fig != "all" {
 		ids = []string{*fig}
 	}
-	opts := figures.Opts{Quick: *quick, Seed: *seed}
+	opts := figures.Opts{Quick: *quick, Seed: *seed, Workers: *workers}
+	if !*parallel {
+		opts.Workers = 1
+	}
+	total := time.Duration(0)
 	for _, id := range ids {
+		start := time.Now()
 		t, err := figures.Run(id, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wimcbench: %s: %v\n", id, err)
 			os.Exit(1)
 		}
+		elapsed := time.Since(start)
+		total += elapsed
 		fmt.Println(t.Text())
+		fmt.Fprintf(os.Stderr, "wimcbench: %-8s %8.3fs\n", id, elapsed.Seconds())
 		if *csv != "" {
 			if err := writeCSV(*csv, t); err != nil {
 				fmt.Fprintf(os.Stderr, "wimcbench: %s: %v\n", id, err)
 				os.Exit(1)
 			}
 		}
+	}
+	if len(ids) > 1 {
+		fmt.Fprintf(os.Stderr, "wimcbench: total    %8.3fs\n", total.Seconds())
 	}
 }
 

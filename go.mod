@@ -1,0 +1,3 @@
+module wimc
+
+go 1.21

@@ -347,6 +347,9 @@ func (c Config) Validate() error {
 	if c.ClockGHz <= 0 {
 		return fmt.Errorf("config: clock_ghz must be positive, got %v", c.ClockGHz)
 	}
+	if c.VCs > 64 {
+		return fmt.Errorf("config: vcs must be <= 64 (router VC bitmasks), got %d", c.VCs)
+	}
 	if c.MemStacks%2 != 0 && c.MemStacks != 0 {
 		return fmt.Errorf("config: mem_stacks must be even (stacks flank both sides), got %d", c.MemStacks)
 	}

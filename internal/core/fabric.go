@@ -41,8 +41,16 @@ type Fabric struct {
 	flitErrProb float64
 	extraLat    sim.Cycle
 
-	pending []delivery
+	pending sim.Queue[delivery]
 	rrDst   int // rotates the destination service order (crossbar)
+
+	// Active-set scheduling state: txTotal counts flits across every WI TX
+	// queue (the crossbar launch predicate), lastLaunch is the last cycle
+	// Launch actually ran, and launchedScratch is the per-cycle crossbar
+	// "already transmitted" marker, preallocated.
+	txTotal         int
+	lastLaunch      sim.Cycle
+	launchedScratch []bool
 
 	// Exclusive-channel MAC state.
 	channel       sim.TokenBucket
@@ -83,6 +91,7 @@ func NewFabric(cfg config.Config, m *energy.Meter, rng *sim.Rand) *Fabric {
 		extraLat:      sim.Cycle(extra),
 		channel:       sim.NewTokenBucket(rate),
 		announceDests: make(map[int]bool),
+		lastLaunch:    -1,
 	}
 }
 
@@ -123,6 +132,7 @@ func (fb *Fabric) AddWI(sw *noc.Switch) *WI {
 	w.inPort = sw.AddInputPort(w)
 	fb.wis = append(fb.wis, w)
 	fb.wiOf[sw.ID] = w
+	fb.launchedScratch = append(fb.launchedScratch, false)
 	return w
 }
 
@@ -135,6 +145,48 @@ func (fb *Fabric) WIBySwitch(id sim.SwitchID) (*WI, bool) {
 	return w, ok
 }
 
+// LaunchNeeded reports whether Launch can make progress or mutate protocol
+// state this cycle. The exclusive-channel MAC runs its turn machinery (and
+// spends control-packet energy) continuously, so it must be ticked every
+// cycle; the crossbar only arbitrates when some WI has a flit buffered —
+// an idle crossbar Launch would merely rotate rrDst and count sleep
+// cycles, which CatchUp reproduces in O(1) when the fabric wakes.
+func (fb *Fabric) LaunchNeeded() bool {
+	if len(fb.wis) < 2 {
+		return false
+	}
+	if fb.cfg.Channel == config.ChannelExclusive {
+		return true
+	}
+	return fb.txTotal > 0
+}
+
+// CatchUp applies the per-cycle side effects of every skipped idle Launch
+// through cycle `through`: the crossbar destination rotation and the
+// sleep/awake accounting (on an idle cycle each WI is awake exactly when
+// power gating is disabled). The engine calls it before results are read
+// and Launch calls it on wake, so active-set scheduling of the fabric is
+// cycle-identical to ticking it every cycle.
+func (fb *Fabric) CatchUp(through sim.Cycle) {
+	if len(fb.wis) < 2 {
+		return
+	}
+	gap := through - fb.lastLaunch
+	if gap <= 0 {
+		return
+	}
+	fb.lastLaunch = through
+	n := len(fb.wis)
+	if fb.cfg.Channel == config.ChannelCrossbar {
+		fb.rrDst = (fb.rrDst + int(gap%sim.Cycle(n))) % n
+	}
+	if fb.cfg.SleepEnabled {
+		fb.SleepCycles += int64(gap) * int64(n)
+	} else {
+		fb.AwakeCycles += int64(gap) * int64(n)
+	}
+}
+
 // Launch arbitrates the channel and starts flit transmissions for this
 // cycle. It runs before the switches' allocation stages so it sees the TX
 // queues as filled by previous cycles.
@@ -142,8 +194,9 @@ func (fb *Fabric) Launch(now sim.Cycle) {
 	if len(fb.wis) < 2 {
 		return
 	}
+	fb.CatchUp(now - 1)
+	fb.lastLaunch = now
 	for _, w := range fb.wis {
-		w.egress.Refill()
 		w.awake = !fb.cfg.SleepEnabled // sleepy receivers wake on demand
 	}
 	switch fb.cfg.Channel {
@@ -177,15 +230,28 @@ func (fb *Fabric) launchCrossbar(now sim.Cycle) {
 	if budget <= 0 || budget > n {
 		budget = n
 	}
-	launched := make([]bool, n)
+	launched := fb.launchedScratch
+	for i := range launched {
+		launched[i] = false
+	}
+	dstIdx := fb.rrDst - 1
 	for di := 0; di < n && budget > 0; di++ {
-		dst := fb.wis[(fb.rrDst+di)%n]
+		dstIdx++
+		if dstIdx >= n {
+			dstIdx = 0
+		}
+		dst := fb.wis[dstIdx]
+		srcIdx := dst.rrSrc - 1
 		for k := 0; k < n; k++ {
-			src := fb.wis[(dst.rrSrc+k)%n]
-			if src == dst || launched[src.Index] {
+			srcIdx++
+			if srcIdx >= n {
+				srcIdx = 0
+			}
+			src := fb.wis[srcIdx]
+			if src == dst || launched[src.Index] || src.txLen == 0 {
 				continue
 			}
-			if !src.egress.CanSpend() {
+			if !src.egress.CanSpendAt(now) {
 				continue
 			}
 			q := fb.launchableQueue(src, dst)
@@ -207,8 +273,12 @@ func (fb *Fabric) launchCrossbar(now sim.Cycle) {
 // reserving them), or -1.
 func (fb *Fabric) launchableQueue(src *WI, dst *WI) int {
 	nq := len(src.txVC)
+	q := src.rrTx - 1
 	for k := 0; k < nq; k++ {
-		q := (src.rrTx + k) % nq
+		q++
+		if q >= nq {
+			q = 0
+		}
 		if len(src.txVC[q]) == 0 {
 			continue
 		}
@@ -256,7 +326,7 @@ func (fb *Fabric) transmit(now sim.Cycle, src *WI, q int) bool {
 	if vc < 0 {
 		panic(fmt.Sprintf("core: reserved flit of pkt %d has no rx VC", f.Pkt.ID))
 	}
-	if !src.egress.TrySpend() {
+	if !src.egress.TrySpendAt(now) {
 		return false
 	}
 
@@ -279,7 +349,7 @@ func (fb *Fabric) transmit(now sim.Cycle, src *WI, q int) bool {
 	fb.Launched++
 	f.VC = int16(vc)
 	f.Phase = 1 // post-wireless VC class (deadlock layering)
-	fb.pending = append(fb.pending, delivery{at: now + fb.extraLat, dest: dst, vc: vc, f: f})
+	fb.pending.Push(delivery{at: now + fb.extraLat, dest: dst, vc: vc, f: f})
 	if f.IsTail() {
 		dst.releaseRxVC(f.Pkt.ID)
 	}
@@ -289,15 +359,18 @@ func (fb *Fabric) transmit(now sim.Cycle, src *WI, q int) bool {
 // Deliver lands wireless flits whose flight time has elapsed. It runs with
 // the wired links' delivery phase so both technologies share timing.
 func (fb *Fabric) Deliver(now sim.Cycle) {
-	for len(fb.pending) > 0 && fb.pending[0].at <= now {
-		d := fb.pending[0]
-		fb.pending = fb.pending[1:]
+	for !fb.pending.Empty() && fb.pending.Peek().at <= now {
+		d := fb.pending.Pop()
 		d.dest.sw.Receive(d.dest.inPort, d.vc, d.f)
 	}
 }
 
-// PendingLen returns the number of wireless flits in flight (test hook).
-func (fb *Fabric) PendingLen() int { return len(fb.pending) }
+// PendingLen returns the number of wireless flits in flight.
+func (fb *Fabric) PendingLen() int { return fb.pending.Len() }
+
+// HasPending reports whether any wireless flit is awaiting delivery (the
+// engine's Deliver activity predicate).
+func (fb *Fabric) HasPending() bool { return !fb.pending.Empty() }
 
 // BufferedTxFlits returns the total flits across all WI TX queues.
 func (fb *Fabric) BufferedTxFlits() int {
@@ -311,13 +384,5 @@ func (fb *Fabric) BufferedTxFlits() int {
 // Drained reports whether no wireless traffic remains buffered or in
 // flight.
 func (fb *Fabric) Drained() bool {
-	if len(fb.pending) > 0 {
-		return false
-	}
-	for _, w := range fb.wis {
-		if w.TxLen() > 0 {
-			return false
-		}
-	}
-	return true
+	return !fb.HasPending() && fb.txTotal == 0
 }

@@ -18,7 +18,6 @@ import (
 // only whole packets may be transmitted; a WI without a complete packet
 // buffered passes the token.
 func (fb *Fabric) launchExclusive(now sim.Cycle) {
-	fb.channel.Refill()
 
 	if fb.phase == phaseIdle {
 		fb.startTurn()
@@ -30,7 +29,7 @@ func (fb *Fabric) launchExclusive(now sim.Cycle) {
 		for _, w := range fb.wis {
 			w.awake = true
 		}
-		if fb.channel.TrySpend() {
+		if fb.channel.TrySpendAt(now) {
 			fb.controlLeft--
 			if fb.controlLeft <= 0 {
 				if fb.announceLeft > 0 {
@@ -46,7 +45,7 @@ func (fb *Fabric) launchExclusive(now sim.Cycle) {
 		for i := range fb.announceDests {
 			fb.wis[i].awake = true
 		}
-		if !fb.channel.CanSpend() {
+		if !fb.channel.CanSpendAt(now) {
 			return
 		}
 		switch fb.cfg.MAC {
@@ -186,7 +185,7 @@ func (fb *Fabric) dataStepControlPacket(now sim.Cycle, src *WI) {
 		if len(src.txVC[q]) == 0 || !src.txVC[q][0].reserved {
 			panic(fmt.Sprintf("core: WI %d queue %d announced but head unreserved", src.Index, q))
 		}
-		if !fb.channel.TrySpend() {
+		if !fb.channel.TrySpendAt(now) {
 			return
 		}
 		if fb.transmit(now, src, q) {
@@ -221,7 +220,7 @@ func (fb *Fabric) dataStepToken(now sim.Cycle, src *WI) {
 		e.dest.space[vc]--
 		e.reserved = true
 	}
-	if !fb.channel.TrySpend() {
+	if !fb.channel.TrySpendAt(now) {
 		return
 	}
 	if fb.transmit(now, src, q) {

@@ -49,6 +49,7 @@ type WI struct {
 	// enforced by the host switch's output credits.
 	txVC    [][]txEntry
 	txDepth int
+	txLen   int // total flits across txVC (arbitration skip predicate)
 	rrTx    int
 	egress  sim.TokenBucket
 
@@ -84,14 +85,8 @@ func (w *WI) OutPort() int { return w.outPort }
 // InPort returns the wireless input port index on the host switch.
 func (w *WI) InPort() int { return w.inPort }
 
-// TxLen returns the total TX occupancy across queues (test hook).
-func (w *WI) TxLen() int {
-	n := 0
-	for _, q := range w.txVC {
-		n += len(q)
-	}
-	return n
-}
+// TxLen returns the total TX occupancy across queues.
+func (w *WI) TxLen() int { return w.txLen }
 
 // CanAccept implements noc.Conduit. Per-VC space is enforced by the host
 // switch's output-port credits (initialized to the TX queue depth), so the
@@ -113,8 +108,10 @@ func (w *WI) Accept(_ sim.Cycle, f noc.Flit, next sim.SwitchID) {
 		panic(fmt.Sprintf("core: WI %d TX queue %d overflow: output credits violated", w.Index, q))
 	}
 	w.txVC[q] = append(w.txVC[q], txEntry{f: f, dest: dest})
-	if n := w.TxLen(); n > w.MaxTxDepth {
-		w.MaxTxDepth = n
+	w.fb.txTotal++
+	w.txLen++
+	if w.txLen > w.MaxTxDepth {
+		w.MaxTxDepth = w.txLen
 	}
 }
 
@@ -123,6 +120,8 @@ func (w *WI) Accept(_ sim.Cycle, f noc.Flit, next sim.SwitchID) {
 func (w *WI) popTx(q int) txEntry {
 	e := w.txVC[q][0]
 	w.txVC[q] = w.txVC[q][1:]
+	w.fb.txTotal--
+	w.txLen--
 	w.sw.ReturnCredit(w.outPort, q)
 	return e
 }

@@ -1,0 +1,126 @@
+package engine
+
+import (
+	"encoding/json"
+	"testing"
+
+	"wimc/internal/config"
+)
+
+// resultJSON canonicalizes a Result for byte comparison.
+func resultJSON(t *testing.T, r *Result) string {
+	t.Helper()
+	b, err := json.Marshal(r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+// determinismParams covers the scheduling-sensitive machinery: wireless
+// crossbar arbitration, sleep gating, memory read round trips (the reply
+// heap) and enough load that switches, links and endpoints all cycle
+// through active and idle states.
+func determinismParams() []Params {
+	wireless := config.MustXCYM(4, 4, config.ArchWireless)
+	wireless.WarmupCycles = 200
+	wireless.MeasureCycles = 1500
+	wireless.DrainCycles = 500
+
+	reads := wireless
+	reads.Name = "reads"
+
+	exclusive := config.MustXCYM(4, 4, config.ArchWireless)
+	exclusive.WarmupCycles = 100
+	exclusive.MeasureCycles = 800
+	exclusive.Channel = config.ChannelExclusive
+
+	ber := config.MustXCYM(4, 4, config.ArchWireless)
+	ber.WarmupCycles = 100
+	ber.MeasureCycles = 800
+	ber.WirelessBER = 0.001
+
+	wired := config.MustXCYM(4, 4, config.ArchInterposer)
+	wired.WarmupCycles = 200
+	wired.MeasureCycles = 1500
+
+	return []Params{
+		{Cfg: wireless, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.002, MemFraction: 0.2}},
+		{Cfg: reads, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.001, MemFraction: 0.5, MemReadFraction: 1.0}},
+		{Cfg: exclusive, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.0003, MemFraction: 0.2}},
+		{Cfg: ber, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.0005, MemFraction: 0.2}},
+		{Cfg: wired, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.002, MemFraction: 0.2}},
+	}
+}
+
+// TestSameSeedByteIdentical runs each configuration twice with the same
+// seed and asserts byte-identical Result JSON.
+func TestSameSeedByteIdentical(t *testing.T) {
+	for _, p := range determinismParams() {
+		p := p
+		t.Run(p.Cfg.Name+"/"+string(p.Cfg.Channel), func(t *testing.T) {
+			a := resultJSON(t, mustRun(t, p))
+			b := resultJSON(t, mustRun(t, p))
+			if a != b {
+				t.Fatalf("same seed, same scheduling path diverged:\n%s\n%s", a, b)
+			}
+		})
+	}
+}
+
+// TestActiveSetMatchesFullTick is the determinism regression for the
+// active-set scheduler: every configuration must produce byte-identical
+// Result JSON under active-set scheduling and under the FullTick reference
+// path that ticks every switch, link and endpoint every cycle. This is the
+// proof that skipping idle components preserves cycle accuracy, including
+// the order of floating-point energy accumulation.
+func TestActiveSetMatchesFullTick(t *testing.T) {
+	for _, p := range determinismParams() {
+		p := p
+		t.Run(p.Cfg.Name+"/"+string(p.Cfg.Channel), func(t *testing.T) {
+			active := p
+			active.FullTick = false
+			reference := p
+			reference.FullTick = true
+			a := resultJSON(t, mustRun(t, active))
+			b := resultJSON(t, mustRun(t, reference))
+			if a != b {
+				t.Fatalf("active-set scheduling diverged from full-tick reference:\nactive:    %s\nreference: %s", a, b)
+			}
+		})
+	}
+}
+
+// TestActiveSetMatchesFullTickAtSaturation exercises the schedulers where
+// every component stays busy (saturation) and where drain empties the
+// system, with conservation checked on both paths.
+func TestActiveSetMatchesFullTickAtSaturation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation-heavy")
+	}
+	cfg := config.MustXCYM(4, 4, config.ArchWireless)
+	cfg.WarmupCycles = 100
+	cfg.MeasureCycles = 600
+	cfg.DrainCycles = 30000
+	tr := TrafficSpec{Kind: TrafficUniform, Rate: 1.0, MemFraction: 0.2}
+
+	run := func(fullTick bool) (*Result, *Engine) {
+		e, err := New(Params{Cfg: cfg, Traffic: tr, FullTick: fullTick})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r, err := e.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := e.CheckFlitConservation(); err != nil {
+			t.Fatal(err)
+		}
+		return r, e
+	}
+	ra, _ := run(false)
+	rb, _ := run(true)
+	if resultJSON(t, ra) != resultJSON(t, rb) {
+		t.Fatalf("saturated active-set run diverged from full-tick:\n%+v\n%+v", ra, rb)
+	}
+}

@@ -54,6 +54,11 @@ type Params struct {
 	// (id, endpoints, class, timing, hops, energy) — a packet-level trace
 	// for debugging and external analysis.
 	Trace io.Writer
+	// FullTick disables active-set scheduling and ticks every switch, link
+	// and endpoint every cycle — the reference scheduling path. Results are
+	// cycle-identical either way (the determinism regression test asserts
+	// it); FullTick exists to keep that claim checkable forever.
+	FullTick bool
 }
 
 // Engine is an assembled simulation ready to run.
@@ -78,8 +83,27 @@ type Engine struct {
 
 	genStop sim.Cycle // cycle after which traffic generation ceases
 
-	// Pending DRAM read replies, ordered by ready time.
-	replies []pendingReply
+	// Pending DRAM read replies: a min-heap keyed by (readyAt, seq) so the
+	// cycle loop touches only due replies instead of scanning the whole
+	// slice. Because MemServiceCycles is constant within a run, readyAt is
+	// nondecreasing in insertion order and heap order equals the insertion
+	// order the pre-heap implementation used — reply packet IDs are
+	// byte-identical. retryScratch holds replies refused by a full source
+	// queue until they re-enter the heap for the next cycle.
+	replies      replyHeap
+	replySeq     uint64
+	retryScratch []pendingReply
+
+	// Active-set scheduling (see step): a component is ticked only while
+	// the corresponding predicate says ticking could do work. fullTick
+	// forces the reference everything-every-cycle path.
+	swActive   *sim.ActiveSet
+	linkActive *sim.ActiveSet
+	epActive   *sim.ActiveSet
+	fullTick   bool
+
+	// pool recycles delivered packets back into traffic generation.
+	pool noc.PacketPool
 
 	trace    io.Writer
 	traceErr error
@@ -88,7 +112,57 @@ type Engine struct {
 // pendingReply is a DRAM data response awaiting issue.
 type pendingReply struct {
 	readyAt sim.Cycle
+	seq     uint64 // insertion order, the heap tiebreak
 	request *noc.Packet
+}
+
+// replyHeap is a min-heap of pendingReply ordered by (readyAt, seq).
+type replyHeap []pendingReply
+
+func (h replyHeap) less(i, j int) bool {
+	if h[i].readyAt != h[j].readyAt {
+		return h[i].readyAt < h[j].readyAt
+	}
+	return h[i].seq < h[j].seq
+}
+
+func (h *replyHeap) push(pr pendingReply) {
+	*h = append(*h, pr)
+	i := len(*h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !(*h).less(i, parent) {
+			break
+		}
+		(*h)[i], (*h)[parent] = (*h)[parent], (*h)[i]
+		i = parent
+	}
+}
+
+func (h *replyHeap) pop() pendingReply {
+	old := *h
+	top := old[0]
+	n := len(old) - 1
+	old[0] = old[n]
+	old[n] = pendingReply{}
+	*h = old[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		smallest := i
+		if l < n && (*h).less(l, smallest) {
+			smallest = l
+		}
+		if r < n && (*h).less(r, smallest) {
+			smallest = r
+		}
+		if smallest == i {
+			break
+		}
+		(*h)[i], (*h)[smallest] = (*h)[smallest], (*h)[i]
+		i = smallest
+	}
+	return top
 }
 
 // New builds an engine from the parameters.
@@ -115,12 +189,13 @@ func New(p Params) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		cfg:    cfg,
-		graph:  g,
-		tables: tables,
-		meter:  meter,
-		rng:    sim.NewRand(cfg.Seed),
-		trace:  p.Trace,
+		cfg:      cfg,
+		graph:    g,
+		tables:   tables,
+		meter:    meter,
+		rng:      sim.NewRand(cfg.Seed),
+		trace:    p.Trace,
+		fullTick: p.FullTick,
 	}
 	e.coll = stats.NewCollector(cfg.WarmupCycles, cfg.WarmupCycles+cfg.MeasureCycles, cfg.FlitBits)
 	e.genStop = cfg.WarmupCycles + cfg.MeasureCycles
@@ -180,17 +255,26 @@ func (e *Engine) build() error {
 	}
 
 	// Endpoints. Read requests reaching a DRAM channel schedule a data
-	// reply after the service latency.
+	// reply after the service latency. A delivered packet is fully
+	// consumed (tail flit ejected, statistics sampled), so it recycles
+	// into the pool — unless it is a read request, which the reply path
+	// still needs until the data reply is issued.
 	delivered := func(now sim.Cycle, p *noc.Packet) {
 		e.coll.OnDelivered(now, p)
-		if p.Read && p.Class == noc.ClassCoreToMem {
-			e.replies = append(e.replies, pendingReply{
+		keep := p.Read && p.Class == noc.ClassCoreToMem
+		if keep {
+			e.replies.push(pendingReply{
 				readyAt: now + sim.Cycle(e.cfg.MemServiceCycles),
+				seq:     e.replySeq,
 				request: p,
 			})
+			e.replySeq++
 		}
 		if e.trace != nil {
 			e.tracePacket(p)
+		}
+		if !keep {
+			e.pool.Put(p)
 		}
 	}
 	e.endpoints = make([]*noc.Endpoint, g.EndpointCount())
@@ -254,6 +338,24 @@ func (e *Engine) build() error {
 		e.world.CoreGY = append(e.world.CoreGY, node.GY)
 	}
 	e.world.MemChannels = append(e.world.MemChannels, g.MemChannels...)
+
+	// Activity sets: every component registers itself on the events that
+	// give it work (flit arrival, credit in flight, packet offered), and
+	// the cycle loop visits members only. Iteration is in ascending index
+	// order, so an active sweep is a strict subsequence of the full sweep
+	// and results are cycle-identical to ticking everything.
+	e.swActive = sim.NewActiveSet(len(e.switches))
+	for i, sw := range e.switches {
+		sw.SetActivity(e.swActive, i)
+	}
+	e.linkActive = sim.NewActiveSet(len(e.links))
+	for i, l := range e.links {
+		l.SetActivity(e.linkActive, i)
+	}
+	e.epActive = sim.NewActiveSet(len(e.endpoints))
+	for i, ep := range e.endpoints {
+		ep.SetActivity(e.epActive, i)
+	}
 	return nil
 }
 

@@ -69,6 +69,11 @@ func (e *Engine) Run() (*Result, error) {
 	for ; e.now < total; e.now++ {
 		e.step()
 	}
+	if e.fabric != nil {
+		// Settle the sleep/awake accounting of trailing idle cycles whose
+		// Launch was skipped.
+		e.fabric.CatchUp(total - 1)
+	}
 	if e.traceErr != nil {
 		return nil, e.traceErr
 	}
@@ -76,33 +81,94 @@ func (e *Engine) Run() (*Result, error) {
 }
 
 // step advances the system by one cycle. Phase order (DESIGN.md):
-// wireless launch → link refill → SA/ST → VA → RC → link/wireless delivery
-// → endpoint NI tick → traffic generation.
+// wireless launch → SA/ST → VA → RC → link/wireless delivery → endpoint NI
+// tick → traffic generation. (Link bandwidth refills lazily inside the
+// token buckets, so the former refill phase is gone.)
+//
+// Active-set scheduling: only components whose activity predicate holds are
+// ticked. A switch with no buffered flits, a link with nothing in flight
+// and a drained endpoint are provable no-ops, and the sets iterate in
+// ascending index order, so the schedule is cycle-identical to the
+// FullTick reference path — same seed, byte-identical Result.
 func (e *Engine) step() {
 	now := e.now
-	if e.fabric != nil {
+	if e.fabric != nil && (e.fullTick || e.fabric.LaunchNeeded()) {
 		e.fabric.Launch(now)
 	}
-	for _, l := range e.links {
-		l.Refill()
+	if e.fullTick {
+		for _, s := range e.switches {
+			s.TickSAST(now)
+		}
+		for _, s := range e.switches {
+			s.TickVA(now)
+		}
+		for _, s := range e.switches {
+			s.TickRC(now)
+		}
+		for _, l := range e.links {
+			l.Deliver(now)
+		}
+	} else {
+		// No switch joins or leaves the set during the three pipeline
+		// phases (traversed flits land in link/WI/endpoint queues, never
+		// directly in another switch), so the three sweeps see identical
+		// membership.
+		for it := e.swActive.Iter(); ; {
+			i, ok := it.Next()
+			if !ok {
+				break
+			}
+			e.switches[i].TickSAST(now)
+		}
+		for it := e.swActive.Iter(); ; {
+			i, ok := it.Next()
+			if !ok {
+				break
+			}
+			e.switches[i].TickVA(now)
+		}
+		for it := e.swActive.Iter(); ; {
+			i, ok := it.Next()
+			if !ok {
+				break
+			}
+			s := e.switches[i]
+			s.TickRC(now)
+			if s.BufferedFlits() == 0 {
+				e.swActive.Remove(i)
+			}
+		}
+		for it := e.linkActive.Iter(); ; {
+			i, ok := it.Next()
+			if !ok {
+				break
+			}
+			l := e.links[i]
+			l.Deliver(now)
+			if !l.Busy() {
+				e.linkActive.Remove(i)
+			}
+		}
 	}
-	for _, s := range e.switches {
-		s.TickSAST(now)
-	}
-	for _, s := range e.switches {
-		s.TickVA(now)
-	}
-	for _, s := range e.switches {
-		s.TickRC(now)
-	}
-	for _, l := range e.links {
-		l.Deliver(now)
-	}
-	if e.fabric != nil {
+	if e.fabric != nil && (e.fullTick || e.fabric.HasPending()) {
 		e.fabric.Deliver(now)
 	}
-	for _, ep := range e.endpoints {
-		ep.Tick(now)
+	if e.fullTick {
+		for _, ep := range e.endpoints {
+			ep.Tick(now)
+		}
+	} else {
+		for it := e.epActive.Iter(); ; {
+			i, ok := it.Next()
+			if !ok {
+				break
+			}
+			ep := e.endpoints[i]
+			ep.Tick(now)
+			if ep.Drained() {
+				e.epActive.Remove(i)
+			}
+		}
 	}
 	e.issueReplies(now)
 	if now < e.genStop {
@@ -111,32 +177,36 @@ func (e *Engine) step() {
 }
 
 // issueReplies offers due DRAM read replies to their channel NIs, retrying
-// next cycle when a source queue is full.
+// next cycle when a source queue is full. Only due heap entries are
+// touched; pending replies cost nothing per cycle.
 func (e *Engine) issueReplies(now sim.Cycle) {
-	kept := e.replies[:0]
-	for _, pr := range e.replies {
-		if pr.readyAt > now {
-			kept = append(kept, pr)
-			continue
-		}
+	for len(e.replies) > 0 && e.replies[0].readyAt <= now {
+		pr := e.replies.pop()
 		req := pr.request
 		e.nextPkt++
-		reply := &noc.Packet{
-			ID:               e.nextPkt,
-			Src:              req.Dst,
-			Dst:              req.Src,
-			NumFlits:         e.cfg.MemReplyFlits,
-			Class:            noc.ClassMemReply,
-			CreatedAt:        now,
-			RequestCreatedAt: req.CreatedAt,
-			ReplyFor:         req.ID,
-		}
-		if !e.endpoints[req.Dst].Offer(reply) {
+		reply := e.pool.Get()
+		reply.ID = e.nextPkt
+		reply.Src = req.Dst
+		reply.Dst = req.Src
+		reply.NumFlits = e.cfg.MemReplyFlits
+		reply.Class = noc.ClassMemReply
+		reply.CreatedAt = now
+		reply.RequestCreatedAt = req.CreatedAt
+		reply.ReplyFor = req.ID
+		if e.endpoints[req.Dst].Offer(reply) {
+			e.pool.Put(req) // request fully served; recycle it
+		} else {
 			e.nextPkt-- // channel queue full: retry next cycle
-			kept = append(kept, pr)
+			e.pool.Put(reply)
+			e.retryScratch = append(e.retryScratch, pr)
 		}
 	}
-	e.replies = kept
+	if len(e.retryScratch) > 0 {
+		for _, pr := range e.retryScratch {
+			e.replies.push(pr)
+		}
+		e.retryScratch = e.retryScratch[:0]
+	}
 }
 
 // generate polls the traffic source for every core.
@@ -151,16 +221,17 @@ func (e *Engine) generate(now sim.Cycle) {
 		if g.Mem {
 			cl = noc.ClassCoreToMem
 		}
-		p := &noc.Packet{
-			ID:        e.nextPkt,
-			Src:       coreID,
-			Dst:       g.Dst,
-			NumFlits:  g.Flits,
-			Class:     cl,
-			CreatedAt: now,
-			Read:      g.Read,
+		p := e.pool.Get()
+		p.ID = e.nextPkt
+		p.Src = coreID
+		p.Dst = g.Dst
+		p.NumFlits = g.Flits
+		p.Class = cl
+		p.CreatedAt = now
+		p.Read = g.Read
+		if !e.endpoints[coreID].Offer(p) {
+			e.pool.Put(p) // refused: the ID stays burned, the packet recycles
 		}
-		e.endpoints[coreID].Offer(p)
 	}
 }
 

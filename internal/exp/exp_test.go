@@ -1,0 +1,125 @@
+package exp
+
+import (
+	"encoding/json"
+	"testing"
+
+	"wimc/internal/config"
+	"wimc/internal/engine"
+)
+
+func quickParams(rate float64, seed uint64) engine.Params {
+	cfg := config.MustXCYM(4, 4, config.ArchWireless)
+	cfg.WarmupCycles = 100
+	cfg.MeasureCycles = 700
+	cfg.Seed = seed
+	return engine.Params{
+		Cfg:     cfg,
+		Traffic: engine.TrafficSpec{Kind: engine.TrafficUniform, Rate: rate, MemFraction: 0.2},
+	}
+}
+
+// TestParallelMatchesSequential is the runner's determinism contract: the
+// same batch run with 1 worker and with many workers yields byte-identical
+// results in the same order.
+func TestParallelMatchesSequential(t *testing.T) {
+	var ps []engine.Params
+	for i, rate := range []float64{0.0005, 0.001, 0.002, 0.004} {
+		ps = append(ps, quickParams(rate, uint64(i+1)))
+	}
+	seq, err := Run(1, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Run(8, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(ps) || len(par) != len(ps) {
+		t.Fatalf("lengths %d/%d, want %d", len(seq), len(par), len(ps))
+	}
+	for i := range ps {
+		a, _ := json.Marshal(seq[i])
+		b, _ := json.Marshal(par[i])
+		if string(a) != string(b) {
+			t.Fatalf("run %d diverged between 1 and 8 workers:\n%s\n%s", i, a, b)
+		}
+	}
+}
+
+// TestRunOrderPreserved checks results land at their input index (each run
+// carries a distinguishable rate).
+func TestRunOrderPreserved(t *testing.T) {
+	rates := []float64{0.0005, 0.004}
+	ps := []engine.Params{quickParams(rates[0], 1), quickParams(rates[1], 1)}
+	rs, err := Run(2, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].GeneratedPackets >= rs[1].GeneratedPackets {
+		t.Fatalf("results out of order: rate %v generated %d, rate %v generated %d",
+			rates[0], rs[0].GeneratedPackets, rates[1], rs[1].GeneratedPackets)
+	}
+}
+
+// TestLowestIndexErrorWins: a failing run reports its error regardless of
+// scheduling, and the lowest failing index is the one reported.
+func TestLowestIndexErrorWins(t *testing.T) {
+	good := quickParams(0.001, 1)
+	bad := quickParams(0.001, 1)
+	bad.Cfg.VCs = 0 // invalid
+	bad2 := quickParams(0.001, 1)
+	bad2.Cfg.ClockGHz = -1 // invalid, different message
+	ps := []engine.Params{good, bad, bad2, good}
+	_, err := Run(4, ps)
+	if err == nil {
+		t.Fatal("invalid config did not fail")
+	}
+	wantErr := func() string {
+		_, e := engine.Run(bad)
+		return e.Error()
+	}()
+	if err.Error() != wantErr {
+		t.Fatalf("got error %q, want lowest-index error %q", err, wantErr)
+	}
+}
+
+func TestDeriveSeedStableAndDistinct(t *testing.T) {
+	if DeriveSeed(7, 0) != DeriveSeed(7, 0) {
+		t.Fatal("DeriveSeed not stable")
+	}
+	seen := map[uint64]bool{}
+	for i := 0; i < 100; i++ {
+		s := DeriveSeed(7, i)
+		if seen[s] {
+			t.Fatalf("seed collision at replica %d", i)
+		}
+		seen[s] = true
+	}
+	if DeriveSeed(7, 0) == DeriveSeed(8, 0) {
+		t.Fatal("different bases share replica seeds")
+	}
+}
+
+func TestReplicate(t *testing.T) {
+	base := quickParams(0.001, 42)
+	reps := Replicate(base, 3)
+	if len(reps) != 3 {
+		t.Fatalf("%d replicas", len(reps))
+	}
+	for i, r := range reps {
+		if r.Cfg.Seed != DeriveSeed(42, i) {
+			t.Fatalf("replica %d seed %d", i, r.Cfg.Seed)
+		}
+		if r.Traffic != base.Traffic {
+			t.Fatal("replica traffic differs")
+		}
+	}
+	rs, err := Run(0, reps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rs[0].AvgLatency == rs[1].AvgLatency && rs[1].AvgLatency == rs[2].AvgLatency {
+		t.Fatal("derived seeds produced identical runs")
+	}
+}

@@ -27,17 +27,23 @@ func AblationMAC(o Opts) (*Table, error) {
 			"paper §III.D: partial-packet control MAC avoids whole-packet buffering in the WIs",
 		},
 	}
-	for _, mac := range []config.MACMode{config.MACControlPacket, config.MACToken} {
+	macs := []config.MACMode{config.MACControlPacket, config.MACToken}
+	var ps []engine.Params
+	for _, mac := range macs {
 		cfg := xcym(4, config.ArchWireless, o)
 		cfg.Channel = config.ChannelExclusive
 		cfg.MAC = mac
 		if mac == config.MACToken {
 			cfg.TXBufferFlits = cfg.PacketFlits // whole packets must fit
 		}
-		r, err := engine.Run(engine.Params{Cfg: cfg, Traffic: ablationTraffic(0.0003)})
-		if err != nil {
-			return nil, err
-		}
+		ps = append(ps, engine.Params{Cfg: cfg, Traffic: ablationTraffic(0.0003)})
+	}
+	rs, err := runBatch(o, ps)
+	if err != nil {
+		return nil, err
+	}
+	for i, mac := range macs {
+		r := rs[i]
 		t.Rows = append(t.Rows, []string{
 			string(mac),
 			f("%.0f", r.AvgLatency),
@@ -62,13 +68,19 @@ func AblationChannel(o Opts) (*Table, error) {
 			"the paper's reported multi-Gbps per-core bandwidth is unreachable on a single shared 16 Gbps channel",
 		},
 	}
-	for _, ch := range []config.ChannelMode{config.ChannelCrossbar, config.ChannelExclusive} {
+	channels := []config.ChannelMode{config.ChannelCrossbar, config.ChannelExclusive}
+	var ps []engine.Params
+	for _, ch := range channels {
 		cfg := xcym(4, config.ArchWireless, o)
 		cfg.Channel = ch
-		r, err := saturate(cfg, 0.2)
-		if err != nil {
-			return nil, err
-		}
+		ps = append(ps, saturation(cfg, 0.2))
+	}
+	rs, err := runBatch(o, ps)
+	if err != nil {
+		return nil, err
+	}
+	for i, ch := range channels {
+		r := rs[i]
 		t.Rows = append(t.Rows, []string{
 			string(ch),
 			f("%.3f", r.BandwidthPerCoreGbps),
@@ -90,22 +102,33 @@ func AblationRouting(o Opts) (*Table, error) {
 			"a single tree forces all inter-WI traffic through the root WI, defeating one-hop wireless links",
 		},
 	}
+	type cell struct {
+		arch config.Architecture
+		mode config.RoutingMode
+	}
+	var cells []cell
+	var ps []engine.Params
 	for _, arch := range []config.Architecture{config.ArchInterposer, config.ArchWireless} {
 		for _, mode := range []config.RoutingMode{config.RouteShortest, config.RouteTree} {
 			cfg := xcym(4, arch, o)
 			cfg.Routing = mode
-			r, err := engine.Run(engine.Params{Cfg: cfg, Traffic: ablationTraffic(0.001)})
-			if err != nil {
-				return nil, err
-			}
-			t.Rows = append(t.Rows, []string{
-				string(arch),
-				string(mode),
-				f("%.0f", r.AvgLatency),
-				f("%.3f", r.BandwidthPerCoreGbps),
-				f("%.2f", r.AvgHops),
-			})
+			cells = append(cells, cell{arch, mode})
+			ps = append(ps, engine.Params{Cfg: cfg, Traffic: ablationTraffic(0.001)})
 		}
+	}
+	rs, err := runBatch(o, ps)
+	if err != nil {
+		return nil, err
+	}
+	for i, c := range cells {
+		r := rs[i]
+		t.Rows = append(t.Rows, []string{
+			string(c.arch),
+			string(c.mode),
+			f("%.0f", r.AvgLatency),
+			f("%.3f", r.BandwidthPerCoreGbps),
+			f("%.2f", r.AvgHops),
+		})
 	}
 	return t, nil
 }
@@ -119,13 +142,19 @@ func AblationSleep(o Opts) (*Table, error) {
 		Title:  "Sleepy transceivers vs always-on receivers (4C4M wireless, moderate load)",
 		Header: []string{"sleep", "wi_awake_fraction", "wi_static_nj", "total_static_uj"},
 	}
-	for _, sleep := range []bool{true, false} {
+	modes := []bool{true, false}
+	var ps []engine.Params
+	for _, sleep := range modes {
 		cfg := xcym(4, config.ArchWireless, o)
 		cfg.SleepEnabled = sleep
-		r, err := engine.Run(engine.Params{Cfg: cfg, Traffic: ablationTraffic(0.001)})
-		if err != nil {
-			return nil, err
-		}
+		ps = append(ps, engine.Params{Cfg: cfg, Traffic: ablationTraffic(0.001)})
+	}
+	rs, err := runBatch(o, ps)
+	if err != nil {
+		return nil, err
+	}
+	for i, sleep := range modes {
+		r := rs[i]
 		t.Rows = append(t.Rows, []string{
 			f("%v", sleep),
 			f("%.3f", r.WIAwakeFraction),
@@ -145,16 +174,24 @@ func AblationDensity(o Opts) (*Table, error) {
 		Title:  "WI deployment density, 1C4M wireless (64-core chip, moderate load)",
 		Header: []string{"cores_per_wi", "wis_on_chip", "avg_latency", "bw_per_core_gbps", "avg_hops"},
 	}
-	for _, density := range []int{64, 32, 16, 8} {
+	densities := []int{64, 32, 16, 8}
+	var ps []engine.Params
+	wisOnChip := make([]int, len(densities))
+	for i, density := range densities {
 		cfg := xcym(1, config.ArchWireless, o)
 		cfg.CoresPerWI = density
-		r, err := engine.Run(engine.Params{Cfg: cfg, Traffic: ablationTraffic(0.002)})
-		if err != nil {
-			return nil, err
-		}
+		wisOnChip[i] = cfg.Cores() / density
+		ps = append(ps, engine.Params{Cfg: cfg, Traffic: ablationTraffic(0.002)})
+	}
+	rs, err := runBatch(o, ps)
+	if err != nil {
+		return nil, err
+	}
+	for i, density := range densities {
+		r := rs[i]
 		t.Rows = append(t.Rows, []string{
 			f("%d", density),
-			f("%d", cfg.Cores()/density),
+			f("%d", wisOnChip[i]),
 			f("%.0f", r.AvgLatency),
 			f("%.3f", r.BandwidthPerCoreGbps),
 			f("%.2f", r.AvgHops),

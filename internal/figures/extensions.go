@@ -5,6 +5,11 @@ import (
 	"wimc/internal/engine"
 )
 
+// fourArchs is the extended architecture set (paper's three plus hybrid).
+var fourArchs = []config.Architecture{
+	config.ArchSubstrate, config.ArchInterposer, config.ArchWireless, config.ArchHybrid,
+}
+
 // ExtensionHybrid evaluates the hybrid architecture (interposer wiring plus
 // the wireless overlay) against the paper's three systems — the natural
 // "future work" design point: wires for neighbor bandwidth, wireless single
@@ -18,22 +23,18 @@ func ExtensionHybrid(o Opts) (*Table, error) {
 			"extension experiment: not part of the paper's evaluation",
 		},
 	}
-	for _, arch := range []config.Architecture{
-		config.ArchSubstrate, config.ArchInterposer, config.ArchWireless, config.ArchHybrid,
-	} {
-		sat, err := saturate(xcym(4, arch, o), 0.2)
-		if err != nil {
-			return nil, err
-		}
-		low, err := engine.Run(engine.Params{
-			Cfg: xcym(4, arch, o),
-			Traffic: engine.TrafficSpec{
-				Kind: engine.TrafficUniform, Rate: 0.0005, MemFraction: 0.2,
-			},
-		})
-		if err != nil {
-			return nil, err
-		}
+	var ps []engine.Params
+	for _, arch := range fourArchs {
+		ps = append(ps,
+			saturation(xcym(4, arch, o), 0.2),
+			uniform(xcym(4, arch, o), 0.0005, 0.2))
+	}
+	rs, err := runBatch(o, ps)
+	if err != nil {
+		return nil, err
+	}
+	for i, arch := range fourArchs {
+		sat, low := rs[2*i], rs[2*i+1]
 		t.Rows = append(t.Rows, []string{
 			string(arch),
 			f("%.3f", sat.BandwidthPerCoreGbps),
@@ -56,12 +57,10 @@ func ExtensionReadRoundTrip(o Opts) (*Table, error) {
 			"extension experiment: the paper models one-way traffic only",
 		},
 	}
-	for _, arch := range []config.Architecture{
-		config.ArchSubstrate, config.ArchInterposer, config.ArchWireless, config.ArchHybrid,
-	} {
-		cfg := xcym(4, arch, o)
-		r, err := engine.Run(engine.Params{
-			Cfg: cfg,
+	var ps []engine.Params
+	for _, arch := range fourArchs {
+		ps = append(ps, engine.Params{
+			Cfg: xcym(4, arch, o),
 			Traffic: engine.TrafficSpec{
 				Kind:            engine.TrafficUniform,
 				Rate:            0.0005,
@@ -69,9 +68,13 @@ func ExtensionReadRoundTrip(o Opts) (*Table, error) {
 				MemReadFraction: 1.0,
 			},
 		})
-		if err != nil {
-			return nil, err
-		}
+	}
+	rs, err := runBatch(o, ps)
+	if err != nil {
+		return nil, err
+	}
+	for i, arch := range fourArchs {
+		r := rs[i]
 		t.Rows = append(t.Rows, []string{
 			string(arch),
 			f("%.0f", r.AvgReadRoundTrip),

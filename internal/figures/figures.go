@@ -12,6 +12,7 @@ import (
 
 	"wimc/internal/config"
 	"wimc/internal/engine"
+	"wimc/internal/exp"
 )
 
 // Table is one regenerated figure/table.
@@ -72,13 +73,17 @@ func (t *Table) WriteCSV(w io.Writer) error {
 	return cw.Error()
 }
 
-// Opts controls experiment fidelity.
+// Opts controls experiment fidelity and execution.
 type Opts struct {
 	// Quick shortens the simulation windows (for benchmarks and CI); full
 	// runs use the paper's 10 000-cycle methodology.
 	Quick bool
 	// Seed overrides the default seed when nonzero.
 	Seed uint64
+	// Workers bounds the parallel experiment runner: 0 uses every core
+	// (GOMAXPROCS), 1 runs sequentially. Tables are byte-identical either
+	// way (internal/exp's determinism contract).
+	Workers int
 }
 
 func (o Opts) apply(cfg *config.Config) {
@@ -111,15 +116,35 @@ func xcym(chips int, arch config.Architecture, o Opts) config.Config {
 	return cfg
 }
 
-func saturate(cfg config.Config, mem float64) (*engine.Result, error) {
-	return engine.Run(engine.Params{
+// runBatch executes independent runs through the parallel experiment
+// runner, preserving input order (every generator funnels through here).
+func runBatch(o Opts, ps []engine.Params) ([]*engine.Result, error) {
+	return exp.Run(o.Workers, ps)
+}
+
+// saturation is the maximum-load uniform workload of the Fig. 2/4/5
+// methodology.
+func saturation(cfg config.Config, mem float64) engine.Params {
+	return engine.Params{
 		Cfg: cfg,
 		Traffic: engine.TrafficSpec{
 			Kind:        engine.TrafficUniform,
 			Rate:        1.0,
 			MemFraction: mem,
 		},
-	})
+	}
+}
+
+// uniform is a uniform-random workload at the given load.
+func uniform(cfg config.Config, rate, mem float64) engine.Params {
+	return engine.Params{
+		Cfg: cfg,
+		Traffic: engine.TrafficSpec{
+			Kind:        engine.TrafficUniform,
+			Rate:        rate,
+			MemFraction: mem,
+		},
+	}
 }
 
 func f(format string, v ...any) string { return fmt.Sprintf(format, v...) }

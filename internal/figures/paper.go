@@ -6,6 +6,11 @@ import (
 	"wimc/internal/traffic"
 )
 
+// threeArchs is the paper's system order in every per-architecture table.
+var threeArchs = []config.Architecture{
+	config.ArchSubstrate, config.ArchInterposer, config.ArchWireless,
+}
+
 // Fig2 regenerates Figure 2: peak achievable bandwidth per core and average
 // packet energy for the three 4C4M architectures under uniform random
 // traffic with 20 % memory accesses, at saturation load.
@@ -18,13 +23,16 @@ func Fig2(o Opts) (*Table, error) {
 			"paper shape: Wireless > Interposer > Substrate on bandwidth; Wireless < Interposer < Substrate on energy",
 		},
 	}
-	for _, arch := range []config.Architecture{
-		config.ArchSubstrate, config.ArchInterposer, config.ArchWireless,
-	} {
-		r, err := saturate(xcym(4, arch, o), 0.2)
-		if err != nil {
-			return nil, err
-		}
+	ps := make([]engine.Params, len(threeArchs))
+	for i, arch := range threeArchs {
+		ps[i] = saturation(xcym(4, arch, o), 0.2)
+	}
+	rs, err := runBatch(o, ps)
+	if err != nil {
+		return nil, err
+	}
+	for i, arch := range threeArchs {
+		r := rs[i]
 		hops := r.AvgHops
 		if r.MeasuredPackets == 0 {
 			hops = r.AvgDeliveredHops // saturated: report delivered sample
@@ -55,22 +63,20 @@ func Fig3(o Opts) (*Table, error) {
 			"latency sample censors packets still in flight at window end (paper methodology: fixed 10k-cycle runs)",
 		},
 	}
+	var ps []engine.Params
 	for _, load := range loads {
+		for _, arch := range threeArchs {
+			ps = append(ps, uniform(xcym(4, arch, o), load, 0.2))
+		}
+	}
+	rs, err := runBatch(o, ps)
+	if err != nil {
+		return nil, err
+	}
+	for li, load := range loads {
 		row := []string{f("%.4f", load)}
-		for _, arch := range []config.Architecture{
-			config.ArchSubstrate, config.ArchInterposer, config.ArchWireless,
-		} {
-			r, err := engine.Run(engine.Params{
-				Cfg: xcym(4, arch, o),
-				Traffic: engine.TrafficSpec{
-					Kind:        engine.TrafficUniform,
-					Rate:        load,
-					MemFraction: 0.2,
-				},
-			})
-			if err != nil {
-				return nil, err
-			}
+		for ai := range threeArchs {
+			r := rs[li*len(threeArchs)+ai]
 			lat := r.AvgLatency
 			if r.MeasuredPackets == 0 {
 				lat = r.AvgDeliveredLatency // saturated: report delivered sample
@@ -97,15 +103,19 @@ func Fig4(o Opts) (*Table, error) {
 		},
 	}
 	offchip := map[int]string{1: "20%", 4: "80%", 8: "90%"}
-	for _, chips := range []int{1, 4, 8} {
-		ri, err := saturate(xcym(chips, config.ArchInterposer, o), 0.2)
-		if err != nil {
-			return nil, err
-		}
-		rw, err := saturate(xcym(chips, config.ArchWireless, o), 0.2)
-		if err != nil {
-			return nil, err
-		}
+	chipCounts := []int{1, 4, 8}
+	var ps []engine.Params
+	for _, chips := range chipCounts {
+		ps = append(ps,
+			saturation(xcym(chips, config.ArchInterposer, o), 0.2),
+			saturation(xcym(chips, config.ArchWireless, o), 0.2))
+	}
+	rs, err := runBatch(o, ps)
+	if err != nil {
+		return nil, err
+	}
+	for i, chips := range chipCounts {
+		ri, rw := rs[2*i], rs[2*i+1]
 		t.Rows = append(t.Rows, []string{
 			f("%dC4M", chips),
 			offchip[chips],
@@ -130,15 +140,19 @@ func Fig5(o Opts) (*Table, error) {
 			"paper: gains flatten asymptotically near ~10% bandwidth / ~35% energy",
 		},
 	}
-	for _, mem := range []float64{0.2, 0.4, 0.6, 0.8} {
-		ri, err := saturate(xcym(4, config.ArchInterposer, o), mem)
-		if err != nil {
-			return nil, err
-		}
-		rw, err := saturate(xcym(4, config.ArchWireless, o), mem)
-		if err != nil {
-			return nil, err
-		}
+	mems := []float64{0.2, 0.4, 0.6, 0.8}
+	var ps []engine.Params
+	for _, mem := range mems {
+		ps = append(ps,
+			saturation(xcym(4, config.ArchInterposer, o), mem),
+			saturation(xcym(4, config.ArchWireless, o), mem))
+	}
+	rs, err := runBatch(o, ps)
+	if err != nil {
+		return nil, err
+	}
+	for i, mem := range mems {
+		ri, rw := rs[2*i], rs[2*i+1]
 		t.Rows = append(t.Rows, []string{
 			f("%.0f%%", mem*100),
 			f("%+.1f", gainPct(rw.BandwidthPerCoreGbps, ri.BandwidthPerCoreGbps)),
@@ -163,22 +177,25 @@ func Fig6(o Opts) (*Table, error) {
 			"paper: all applications favor wireless; average ≈54% latency, ≈45% energy",
 		},
 	}
-	var latSum, enSum float64
 	apps := traffic.AppNames()
+	var ps []engine.Params
 	for _, app := range apps {
 		cfgI := config.MustXCYM(4, 4, config.ArchInterposer)
 		cfgW := config.MustXCYM(4, 4, config.ArchWireless)
 		o.applyApp(&cfgI)
 		o.applyApp(&cfgW)
 		ts := engine.TrafficSpec{Kind: engine.TrafficApp, App: app}
-		ri, err := engine.Run(engine.Params{Cfg: cfgI, Traffic: ts})
-		if err != nil {
-			return nil, err
-		}
-		rw, err := engine.Run(engine.Params{Cfg: cfgW, Traffic: ts})
-		if err != nil {
-			return nil, err
-		}
+		ps = append(ps,
+			engine.Params{Cfg: cfgI, Traffic: ts},
+			engine.Params{Cfg: cfgW, Traffic: ts})
+	}
+	rs, err := runBatch(o, ps)
+	if err != nil {
+		return nil, err
+	}
+	var latSum, enSum float64
+	for i, app := range apps {
+		ri, rw := rs[2*i], rs[2*i+1]
 		latGain := reductionPct(ri.AvgLatency, rw.AvgLatency)
 		enGain := reductionPct(ri.AvgPacketEnergyNJ, rw.AvgPacketEnergyNJ)
 		latSum += latGain

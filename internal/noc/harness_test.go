@@ -94,9 +94,9 @@ func newPipe(t *testing.T, o pipeOpts) *pipe {
 	return p
 }
 
-// step advances one cycle in the engine's phase order.
+// step advances one cycle in the engine's phase order (link bandwidth
+// refills lazily inside the token bucket).
 func (p *pipe) step() {
-	p.link.Refill()
 	p.sw0.TickSAST(p.now)
 	p.sw1.TickSAST(p.now)
 	p.sw0.TickVA(p.now)

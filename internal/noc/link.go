@@ -20,6 +20,11 @@ type timedCredit struct {
 // Link is a directed, bandwidth-limited, pipelined wire between two switch
 // ports. It implements Conduit for the upstream output port and CreditSink
 // for the downstream input port.
+//
+// Bandwidth tokens refill lazily (see sim.TokenBucket), so an idle link
+// costs nothing per cycle; the engine only ticks Deliver while the link has
+// flits or credits in flight (sim.Queue pipelines), tracked through the
+// activity set installed with SetActivity.
 type Link struct {
 	class    energy.Class
 	latency  sim.Cycle
@@ -33,8 +38,11 @@ type Link struct {
 	dst     *Switch
 	dstPort int
 
-	inflight []timedFlit
-	credits  []timedCredit
+	inflight sim.Queue[timedFlit]
+	credits  sim.Queue[timedCredit]
+
+	active   *sim.ActiveSet
+	activeID int
 }
 
 // NewLink constructs a directed link. Wiring to switch ports is performed
@@ -61,6 +69,12 @@ func (l *Link) Connect(src *Switch, srcPort int, dst *Switch, dstPort int) {
 	l.dst, l.dstPort = dst, dstPort
 }
 
+// SetActivity registers the link in the engine's link activity set under
+// index id; the link adds itself whenever it gains in-flight work.
+func (l *Link) SetActivity(set *sim.ActiveSet, id int) {
+	l.active, l.activeID = set, id
+}
+
 // Class returns the link's energy class.
 func (l *Link) Class() energy.Class { return l.class }
 
@@ -68,43 +82,46 @@ func (l *Link) Class() energy.Class { return l.class }
 func (l *Link) Latency() int { return int(l.latency) }
 
 // CanAccept reports whether bandwidth tokens allow a flit this cycle.
-func (l *Link) CanAccept(sim.Cycle) bool { return l.bucket.CanSpend() }
+func (l *Link) CanAccept(now sim.Cycle) bool { return l.bucket.CanSpendAt(now) }
 
 // Accept launches a flit onto the wire.
 func (l *Link) Accept(now sim.Cycle, f Flit, _ sim.SwitchID) {
-	if !l.bucket.TrySpend() {
+	if !l.bucket.TrySpendAt(now) {
 		panic("noc: link accepted flit without bandwidth tokens")
 	}
 	pj := l.meter.AddDynamic(l.class, l.flitBits, l.pjPerBit*float64(l.flitBits))
 	f.Pkt.AddEnergy(pj)
-	l.inflight = append(l.inflight, timedFlit{at: now + l.latency, f: f})
+	l.inflight.Push(timedFlit{at: now + l.latency, f: f})
+	l.active.Add(l.activeID)
 }
 
 // ReturnCredit schedules a freed downstream buffer slot back to the source
 // output port (credit wires share the link latency).
 func (l *Link) ReturnCredit(now sim.Cycle, vc int) {
-	l.credits = append(l.credits, timedCredit{at: now + l.latency, vc: vc})
+	l.credits.Push(timedCredit{at: now + l.latency, vc: vc})
+	l.active.Add(l.activeID)
 }
-
-// Refill adds one cycle of bandwidth tokens.
-func (l *Link) Refill() { l.bucket.Refill() }
 
 // Deliver moves flits and credits that have completed traversal.
 func (l *Link) Deliver(now sim.Cycle) {
-	for len(l.inflight) > 0 && l.inflight[0].at <= now {
-		tf := l.inflight[0]
-		l.inflight = l.inflight[1:]
+	for !l.inflight.Empty() && l.inflight.Peek().at <= now {
+		tf := l.inflight.Pop()
 		l.dst.Receive(l.dstPort, int(tf.f.VC), tf.f)
 	}
-	for len(l.credits) > 0 && l.credits[0].at <= now {
-		tc := l.credits[0]
-		l.credits = l.credits[1:]
+	for !l.credits.Empty() && l.credits.Peek().at <= now {
+		tc := l.credits.Pop()
 		l.src.ReturnCredit(l.srcPort, tc.vc)
 	}
 }
 
+// Busy reports whether the link still has flits or credits in flight (the
+// engine drops idle links from the activity set).
+func (l *Link) Busy() bool {
+	return !l.inflight.Empty() || !l.credits.Empty()
+}
+
 // InFlight returns the number of flits on the wire (test hook).
-func (l *Link) InFlight() int { return len(l.inflight) }
+func (l *Link) InFlight() int { return l.inflight.Len() }
 
 var (
 	_ Conduit    = (*Link)(nil)

@@ -1,0 +1,34 @@
+package noc
+
+// PacketPool is a per-engine free list of Packet objects. The cycle loop
+// allocates packets at the traffic-generation rate and discards them on
+// delivery; recycling them through a pool removes that allocation pressure
+// from the hot path. The pool is not safe for concurrent use — like the
+// rest of the runtime fabric, one pool belongs to one single-threaded
+// engine.
+type PacketPool struct {
+	free []*Packet
+}
+
+// Get returns a zeroed packet, reusing a recycled one when available.
+func (pp *PacketPool) Get() *Packet {
+	if n := len(pp.free); n > 0 {
+		p := pp.free[n-1]
+		pp.free[n-1] = nil
+		pp.free = pp.free[:n-1]
+		return p
+	}
+	return &Packet{}
+}
+
+// Put recycles a packet the caller proves is no longer referenced anywhere
+// (all flits consumed, statistics sampled). Every field is reset so a
+// recycled packet is indistinguishable from a fresh allocation — the
+// invariant that keeps pooling behavior-neutral.
+func (pp *PacketPool) Put(p *Packet) {
+	*p = Packet{}
+	pp.free = append(pp.free, p)
+}
+
+// Len returns the number of recycled packets currently pooled (test hook).
+func (pp *PacketPool) Len() int { return len(pp.free) }

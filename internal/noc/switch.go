@@ -2,6 +2,7 @@ package noc
 
 import (
 	"fmt"
+	"math/bits"
 
 	"wimc/internal/energy"
 	"wimc/internal/sim"
@@ -58,6 +59,18 @@ type InputPort struct {
 	vcs    []inputVC
 	credit CreditSink
 	rrNom  int // round-robin pointer for switch-allocation nomination
+	// buffered counts flits across this port's VC buffers; all three
+	// pipeline stages skip a port with none (a VC can only nominate,
+	// request or route while its buffer holds its packet's head/flits).
+	buffered int
+	// ready marks VCs in vcActive state with a nonempty buffer (the SA
+	// nomination candidates); rcReady marks VCs in vcIdle state with a
+	// nonempty buffer (a waiting head flit, the RC candidates). The masks
+	// are maintained on every push, pop and state transition so the
+	// pipeline stages visit exactly the VCs the full scan would act on —
+	// in the same order — without touching the rest.
+	ready   uint64
+	rcReady uint64
 }
 
 // outputVC is one virtual channel of an output port.
@@ -104,6 +117,31 @@ type Switch struct {
 	meter     *energy.Meter
 	switchPJ  float64 // dynamic energy per flit traversal
 	nominated []nomination
+
+	// buffered counts flits across all input VC buffers. The switch's three
+	// pipeline ticks are provably no-ops while it is zero, which is the
+	// active-set scheduling predicate.
+	buffered int
+	// waiting counts input VCs in vcWaitVC state; TickVA is a no-op while
+	// it is zero.
+	waiting int
+
+	active   *sim.ActiveSet
+	activeID int
+
+	// Preallocated VC-allocation scratch (per-cycle request list, grant
+	// flags and per-output-port request counts), reused to keep the hot
+	// loop allocation-free.
+	vaReqs    []vaReq
+	vaGranted []bool
+	vaPortCnt []int16
+}
+
+// vaReq is one per-cycle VC-allocation request: an input VC in vcWaitVC
+// state and the output port it routed to.
+type vaReq struct {
+	ipIdx, vcIdx int16
+	outPort      int16
 }
 
 // nomination is a per-cycle SA request from an input VC.
@@ -113,8 +151,15 @@ type nomination struct {
 }
 
 // NewSwitch constructs a switch with no ports. Ports are added with
-// AddInputPort/AddOutputPort before simulation starts.
+// AddInputPort/AddOutputPort before simulation starts. At most 64 VCs per
+// port are supported (the pipeline tracks per-port VC eligibility in
+// uint64 bitmasks); more is a construction-time bug and panics loudly,
+// mirroring config.Validate's vcs <= 64 rule for callers that build
+// switches directly.
 func NewSwitch(id sim.SwitchID, vcs, depth, flitBits int, switchPJPerBit float64, m *energy.Meter) *Switch {
+	if vcs > 64 {
+		panic(fmt.Sprintf("noc: switch %d: %d VCs exceeds the 64-VC bitmask limit", id, vcs))
+	}
 	return &Switch{
 		ID:       id,
 		vcCount:  vcs,
@@ -137,8 +182,14 @@ func (s *Switch) AddInputPort(credit CreditSink) int {
 }
 
 // AddOutputPort appends an output port feeding the conduit, with the given
-// initial per-VC downstream credits. It returns the port index.
+// initial per-VC downstream credits. It returns the port index. At most 64
+// output ports are supported (SA/ST arbitration tracks ports in a uint64
+// bitmask); exceeding that is a construction-time bug, not a load issue,
+// so it panics loudly.
 func (s *Switch) AddOutputPort(c Conduit, credits int) int {
+	if len(s.out) >= 64 {
+		panic(fmt.Sprintf("noc: switch %d would exceed 64 output ports (SA port bitmask)", s.ID))
+	}
 	p := &OutputPort{vcs: make([]outputVC, s.vcCount), conduit: c, maxCredits: int16(credits)}
 	for i := range p.vcs {
 		p.vcs[i].holderPort = -1
@@ -178,6 +229,12 @@ func (s *Switch) vcRange(phase uint8) (lo, hi int) {
 	return split, s.vcCount
 }
 
+// SetActivity registers the switch in the engine's switch activity set
+// under index id; the switch adds itself whenever a flit arrives.
+func (s *Switch) SetActivity(set *sim.ActiveSet, id int) {
+	s.active, s.activeID = set, id
+}
+
 // SetInputCredit installs the credit sink of an input port after the fact
 // (used when the sink is constructed after the port, e.g. endpoints).
 func (s *Switch) SetInputCredit(port int, c CreditSink) { s.in[port].credit = c }
@@ -206,6 +263,16 @@ func (s *Switch) Receive(port int, vc int, f Flit) {
 		panic(fmt.Sprintf("noc: switch %d port %d vc %d buffer overflow (pkt %d seq %d): credit protocol violated",
 			s.ID, port, vc, f.Pkt.ID, f.Seq))
 	}
+	s.buffered++
+	ip := s.in[port]
+	ip.buffered++
+	switch ivc.state {
+	case vcIdle:
+		ip.rcReady |= 1 << uint(vc)
+	case vcActive:
+		ip.ready |= 1 << uint(vc)
+	}
+	s.active.Add(s.activeID)
 }
 
 // ReturnCredit restores one downstream credit to output port port, VC vc.
@@ -221,55 +288,86 @@ func (s *Switch) ReturnCredit(port, vc int) {
 // nominates one ready VC (round-robin), each output port grants one
 // nominee (round-robin) and the winning flit traverses to the conduit.
 func (s *Switch) TickSAST(now sim.Cycle) {
+	if s.buffered == 0 {
+		return
+	}
 	s.nominated = s.nominated[:0]
 
-	// Stage 1: input-port nomination.
+	// Stage 1: input-port nomination. The ready mask holds exactly the VCs
+	// the full scan would consider (vcActive, nonempty buffer); iterate its
+	// bits in the same wrap-around order starting at rrNom.
 	for ipIdx, ip := range s.in {
+		m := ip.ready
+		if m == 0 {
+			continue
+		}
 		n := len(ip.vcs)
-		for k := 0; k < n; k++ {
-			vcIdx := (ip.rrNom + k) % n
-			vc := &ip.vcs[vcIdx]
-			if vc.state != vcActive || vc.buf.len() == 0 {
-				continue
+		high := m >> uint(ip.rrNom) << uint(ip.rrNom) // bits at/after rrNom
+		for pass := 0; pass < 2; pass++ {
+			mm := high
+			if pass == 1 {
+				mm = m &^ high
 			}
-			op := s.out[vc.outPort]
-			if op.vcs[vc.outVC].credits <= 0 {
-				continue
+			nominatedHere := false
+			for mm != 0 {
+				vcIdx := bits.TrailingZeros64(mm)
+				mm &^= 1 << uint(vcIdx)
+				vc := &ip.vcs[vcIdx]
+				op := s.out[vc.outPort]
+				if op.vcs[vc.outVC].credits <= 0 {
+					continue
+				}
+				if !op.conduit.CanAccept(now) {
+					continue
+				}
+				s.nominated = append(s.nominated, nomination{
+					inPort: int16(ipIdx), inVC: int16(vcIdx),
+					outPort: vc.outPort, outVC: vc.outVC,
+				})
+				ip.rrNom = vcIdx + 1
+				if ip.rrNom >= n {
+					ip.rrNom = 0
+				}
+				nominatedHere = true
+				break
 			}
-			if !op.conduit.CanAccept(now) {
-				continue
+			if nominatedHere {
+				break
 			}
-			s.nominated = append(s.nominated, nomination{
-				inPort: int16(ipIdx), inVC: int16(vcIdx),
-				outPort: vc.outPort, outVC: vc.outVC,
-			})
-			ip.rrNom = (vcIdx + 1) % n
-			break
 		}
 	}
 
-	// Stage 2: output-port grant + traversal.
+	// Stage 2: output-port grant + traversal. Candidates are scanned in
+	// place (round-robin among input VCs keyed by inPort*VCs+inVC) so the
+	// hot loop allocates nothing.
+	if len(s.nominated) == 0 {
+		return
+	}
+	var portMask uint64
+	for i := range s.nominated {
+		portMask |= 1 << uint(s.nominated[i].outPort)
+	}
 	for opIdx, op := range s.out {
-		var cands []nomination
-		for _, nm := range s.nominated {
-			if int(nm.outPort) == opIdx {
-				cands = append(cands, nm)
-			}
-		}
-		if len(cands) == 0 {
+		if portMask&(1<<uint(opIdx)) == 0 {
 			continue
 		}
-		// Round-robin among candidate input VCs, keyed by inPort*VCs+inVC.
 		best := -1
 		bestKey := 0
-		for i, nm := range cands {
+		for i := range s.nominated {
+			nm := &s.nominated[i]
+			if int(nm.outPort) != opIdx {
+				continue
+			}
 			key := int(nm.inPort)*s.vcCount + int(nm.inVC)
 			rel := (key - op.rrSA + s.inKeySpace()) % s.inKeySpace()
 			if best == -1 || rel < bestKey {
 				best, bestKey = i, rel
 			}
 		}
-		nm := cands[best]
+		if best == -1 {
+			continue
+		}
+		nm := s.nominated[best]
 		op.rrSA = (int(nm.inPort)*s.vcCount + int(nm.inVC) + 1) % s.inKeySpace()
 		s.traverse(now, nm)
 	}
@@ -287,6 +385,12 @@ func (s *Switch) traverse(now sim.Cycle, nm nomination) {
 	f, ok := vc.buf.pop()
 	if !ok {
 		panic(fmt.Sprintf("noc: switch %d SA popped empty vc", s.ID))
+	}
+	s.buffered--
+	ip.buffered--
+	bit := uint64(1) << uint(nm.inVC)
+	if vc.buf.len() == 0 {
+		ip.ready &^= bit
 	}
 	f.VC = nm.outVC
 	ovc.credits--
@@ -306,6 +410,11 @@ func (s *Switch) traverse(now sim.Cycle, nm nomination) {
 		vc.state = vcIdle
 		vc.outPort, vc.outVC = -1, -1
 		vc.nextHop = sim.NoSwitch
+		ip.ready &^= bit
+		if vc.buf.len() > 0 {
+			// The next packet's head is already waiting: RC-eligible.
+			ip.rcReady |= bit
+		}
 	}
 
 	op.conduit.Accept(now, f, nextHop)
@@ -318,27 +427,49 @@ func (s *Switch) traverse(now sim.Cycle, nm nomination) {
 
 // TickVA performs VC allocation: every routed input VC waiting for an
 // output VC requests one at its output port; free output VCs are granted
-// round-robin.
+// round-robin. Requests are collected once into preallocated scratch (a
+// request belongs to exactly one output port, so a global grant list is
+// equivalent to the per-port one).
 func (s *Switch) TickVA(now sim.Cycle) {
-	for opIdx, op := range s.out {
-		// Collect requesters for this output port, in a stable order.
-		type req struct{ ipIdx, vcIdx int }
-		var reqs []req
-		for ipIdx, ip := range s.in {
-			for vcIdx := range ip.vcs {
-				vc := &ip.vcs[vcIdx]
-				if vc.state == vcWaitVC && int(vc.outPort) == opIdx && vc.routedAt < now {
-					reqs = append(reqs, req{ipIdx, vcIdx})
-				}
+	if s.buffered == 0 || s.waiting == 0 {
+		return
+	}
+	if len(s.vaPortCnt) != len(s.out) {
+		s.vaPortCnt = make([]int16, len(s.out))
+	}
+	for i := range s.vaPortCnt {
+		s.vaPortCnt[i] = 0
+	}
+	reqs := s.vaReqs[:0]
+	for ipIdx, ip := range s.in {
+		if ip.buffered == 0 {
+			continue
+		}
+		for vcIdx := range ip.vcs {
+			vc := &ip.vcs[vcIdx]
+			if vc.state == vcWaitVC && vc.routedAt < now {
+				reqs = append(reqs, vaReq{int16(ipIdx), int16(vcIdx), vc.outPort})
+				s.vaPortCnt[vc.outPort]++
 			}
 		}
-		if len(reqs) == 0 {
+	}
+	s.vaReqs = reqs
+	if len(reqs) == 0 {
+		return
+	}
+	granted := s.vaGranted[:0]
+	for range reqs {
+		granted = append(granted, false)
+	}
+	s.vaGranted = granted
+
+	for opIdx, op := range s.out {
+		if s.vaPortCnt[opIdx] == 0 {
 			continue
 		}
 		// Rotate requesters by the round-robin pointer for fairness.
-		keyOf := func(r req) int { return r.ipIdx*s.vcCount + r.vcIdx }
+		keyOf := func(r vaReq) int { return int(r.ipIdx)*s.vcCount + int(r.vcIdx) }
 		next := 0
-		granted := make([]bool, len(reqs))
 		for ovcIdx := range op.vcs {
 			ovc := &op.vcs[ovcIdx]
 			if ovc.holderPort != -1 {
@@ -348,7 +479,7 @@ func (s *Switch) TickVA(now sim.Cycle) {
 			// class permits this output VC.
 			best, bestRel := -1, 0
 			for i, r := range reqs {
-				if granted[i] {
+				if granted[i] || int(r.outPort) != opIdx {
 					continue
 				}
 				lo, hi := s.vcRange(s.in[r.ipIdx].vcs[r.vcIdx].phase)
@@ -367,9 +498,11 @@ func (s *Switch) TickVA(now sim.Cycle) {
 			granted[best] = true
 			vc := &s.in[r.ipIdx].vcs[r.vcIdx]
 			vc.state = vcActive
+			s.in[r.ipIdx].ready |= 1 << uint(r.vcIdx)
+			s.waiting--
 			vc.outVC = int16(ovcIdx)
-			ovc.holderPort = int16(r.ipIdx)
-			ovc.holderVC = int16(r.vcIdx)
+			ovc.holderPort = r.ipIdx
+			ovc.holderVC = r.vcIdx
 			next = keyOf(r) + 1
 		}
 		if next > 0 {
@@ -381,12 +514,15 @@ func (s *Switch) TickVA(now sim.Cycle) {
 // TickRC performs route computation for input VCs whose head-of-buffer flit
 // opens a new packet.
 func (s *Switch) TickRC(now sim.Cycle) {
+	if s.buffered == 0 {
+		return
+	}
 	for _, ip := range s.in {
-		for vcIdx := range ip.vcs {
+		m := ip.rcReady
+		for m != 0 {
+			vcIdx := bits.TrailingZeros64(m)
+			m &^= 1 << uint(vcIdx)
 			vc := &ip.vcs[vcIdx]
-			if vc.state != vcIdle {
-				continue
-			}
 			f, ok := vc.buf.peek()
 			if !ok || !f.IsHead() {
 				continue
@@ -397,12 +533,19 @@ func (s *Switch) TickRC(now sim.Cycle) {
 			vc.phase = f.Phase
 			vc.state = vcWaitVC
 			vc.routedAt = now
+			ip.rcReady &^= 1 << uint(vcIdx)
+			s.waiting++
 		}
 	}
 }
 
-// BufferedFlits returns the total flits currently buffered (test hook).
-func (s *Switch) BufferedFlits() int {
+// BufferedFlits returns the total flits currently buffered. It is the
+// active-set predicate: the switch needs ticking only while it is nonzero.
+func (s *Switch) BufferedFlits() int { return s.buffered }
+
+// CountBufferedFlits recomputes the buffered total from the VC buffers
+// (invariant check for tests; must equal BufferedFlits).
+func (s *Switch) CountBufferedFlits() int {
 	total := 0
 	for _, ip := range s.in {
 		for i := range ip.vcs {

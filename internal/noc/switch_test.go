@@ -264,3 +264,36 @@ func TestSwitchEnergyPerTraversal(t *testing.T) {
 		t.Fatalf("packet attribution %v pJ missing switch energy", pkt.EnergyPJ)
 	}
 }
+
+// TestBufferedCounterMatchesBuffers asserts the O(1) buffered counter (the
+// active-set predicate) never drifts from the actual VC buffer occupancy
+// while traffic flows and drains through the pipe harness.
+func TestBufferedCounterMatchesBuffers(t *testing.T) {
+	p := newPipe(t, defaultPipeOpts())
+	for i := 0; i < 6; i++ {
+		p.src.Offer(mkPacket(uint64(i+1), 5))
+	}
+	for cycle := 0; cycle < 80; cycle++ {
+		p.step()
+		for _, sw := range []*Switch{p.sw0, p.sw1} {
+			if got, want := sw.BufferedFlits(), sw.CountBufferedFlits(); got != want {
+				t.Fatalf("cycle %d: switch %d buffered counter %d, buffers hold %d",
+					cycle, sw.ID, got, want)
+			}
+		}
+	}
+	if p.sw0.BufferedFlits() != 0 || p.sw1.BufferedFlits() != 0 {
+		t.Fatal("pipe did not drain")
+	}
+}
+
+// TestNewSwitchRejectsOver64VCs: the VC bitmask limit fails loudly at
+// construction, matching the output-port limit.
+func TestNewSwitchRejectsOver64VCs(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewSwitch accepted 65 VCs")
+		}
+	}()
+	NewSwitch(0, 65, 4, 32, 0, nil)
+}

@@ -1,0 +1,51 @@
+package sim
+
+// Queue is a FIFO consumed from a head index with amortized compaction:
+// Push appends, Pop consumes without shifting, and the dead prefix is
+// reclaimed when it outgrows the live tail (or the queue drains), so the
+// backing array is reused across a run and stays O(live) even when the
+// queue is never empty. Popped and compacted-away slots are zeroed so the
+// queue never pins garbage. It is the shared primitive behind every
+// in-flight pipeline in the simulator (link wires, NI pipelines, wireless
+// deliveries).
+type Queue[T any] struct {
+	buf  []T
+	head int
+}
+
+// Len returns the number of live elements.
+func (q *Queue[T]) Len() int { return len(q.buf) - q.head }
+
+// Empty reports whether no live elements remain.
+func (q *Queue[T]) Empty() bool { return q.head == len(q.buf) }
+
+// Push appends v to the tail.
+func (q *Queue[T]) Push(v T) { q.buf = append(q.buf, v) }
+
+// Peek returns the head element without consuming it. It must not be
+// called on an empty queue.
+func (q *Queue[T]) Peek() T { return q.buf[q.head] }
+
+// Pop consumes and returns the head element, zeroing its slot and
+// compacting the backing array when the dead prefix dominates. It must not
+// be called on an empty queue.
+func (q *Queue[T]) Pop() T {
+	var zero T
+	v := q.buf[q.head]
+	q.buf[q.head] = zero
+	q.head++
+	switch {
+	case q.head == len(q.buf):
+		q.buf = q.buf[:0]
+		q.head = 0
+	case q.head > len(q.buf)/2:
+		n := copy(q.buf, q.buf[q.head:])
+		tail := q.buf[n:]
+		for i := range tail {
+			tail[i] = zero
+		}
+		q.buf = q.buf[:n]
+		q.head = 0
+	}
+	return v
+}

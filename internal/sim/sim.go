@@ -6,6 +6,7 @@ package sim
 import (
 	"fmt"
 	"hash/fnv"
+	"math/bits"
 	"math/rand"
 )
 
@@ -93,35 +94,56 @@ func RateFromGbps(gbps float64, flitBits int, clockGHz float64) Rate {
 // FlitsPerCycle reports the rate as a float for display.
 func (r Rate) FlitsPerCycle() float64 { return float64(r) / rateScale }
 
-// TokenBucket meters a bandwidth-limited resource. Each cycle Refill adds
-// the configured rate; TrySpend consumes one flit's worth of tokens when
-// available. Accumulation is capped at one flit so idle links do not bank
-// unbounded bursts.
+// TokenBucket meters a bandwidth-limited resource. Refills are lazy: the
+// bucket remembers the last cycle whose refill it has applied and tops up
+// the exact owed amount on the next access, so an idle resource costs
+// nothing per cycle. Accumulation is capped at two flits so idle links do
+// not bank unbounded bursts. Because rates are fixed-point integers and the
+// cap only ever clips from above, n lazy refills are bit-identical to n
+// eager per-cycle refills.
 type TokenBucket struct {
 	rate   Rate
 	tokens Rate
+	// last is the most recent cycle whose refill has been applied; -1 means
+	// no refill has been applied yet.
+	last Cycle
 }
 
 // NewTokenBucket returns a bucket with the given rate, starting full so the
 // first flit is never artificially delayed.
 func NewTokenBucket(rate Rate) TokenBucket {
-	return TokenBucket{rate: rate, tokens: RateOne}
+	return TokenBucket{rate: rate, tokens: RateOne, last: -1}
 }
 
-// Refill adds one cycle's worth of tokens.
-func (b *TokenBucket) Refill() {
-	b.tokens += b.rate
+// refillTo applies the refills for every cycle in (b.last, now].
+func (b *TokenBucket) refillTo(now Cycle) {
+	if now <= b.last {
+		return
+	}
+	elapsed := now - b.last
+	b.last = now
+	// Saturating add: elapsed*rate can exceed the cap by a wide margin.
+	if b.rate > 0 && elapsed > Cycle(2*RateOne/b.rate)+1 {
+		b.tokens = 2 * RateOne
+		return
+	}
+	b.tokens += Rate(elapsed) * b.rate
 	if b.tokens > 2*RateOne {
 		b.tokens = 2 * RateOne
 	}
 }
 
-// CanSpend reports whether a full flit of tokens is available.
-func (b *TokenBucket) CanSpend() bool { return b.tokens >= RateOne }
+// CanSpendAt reports whether a full flit of tokens is available at cycle
+// now, applying any refills owed first.
+func (b *TokenBucket) CanSpendAt(now Cycle) bool {
+	b.refillTo(now)
+	return b.tokens >= RateOne
+}
 
-// TrySpend consumes one flit of tokens, reporting whether it succeeded.
-func (b *TokenBucket) TrySpend() bool {
-	if b.tokens < RateOne {
+// TrySpendAt consumes one flit of tokens at cycle now, reporting whether it
+// succeeded.
+func (b *TokenBucket) TrySpendAt(now Cycle) bool {
+	if !b.CanSpendAt(now) {
 		return false
 	}
 	b.tokens -= RateOne
@@ -134,4 +156,104 @@ func (b *TokenBucket) Rate() Rate { return b.rate }
 // Validatef returns a formatted validation error.
 func Validatef(format string, args ...any) error {
 	return fmt.Errorf("wimc: invalid configuration: "+format, args...)
+}
+
+// ActiveSet is a bitmap over component indices used by the engine's
+// active-set scheduler: a component is a member while ticking it could do
+// work, and the cycle loop visits only members. Iteration is always in
+// ascending index order, which makes an active-set sweep a strict
+// subsequence of the full slice sweep — the property that keeps active-set
+// scheduling cycle-identical to ticking everything (skipped components are
+// provably no-ops, and visited ones run in the same order, so even
+// floating-point accumulation is unchanged).
+//
+// All methods are nil-safe no-ops on a nil receiver so components built
+// outside an engine (unit tests, harnesses) need no activity wiring.
+type ActiveSet struct {
+	words []uint64
+}
+
+// NewActiveSet returns a set able to hold indices [0, n).
+func NewActiveSet(n int) *ActiveSet {
+	return &ActiveSet{words: make([]uint64, (n+63)/64)}
+}
+
+// Add marks index i active (idempotent).
+func (s *ActiveSet) Add(i int) {
+	if s == nil {
+		return
+	}
+	s.words[i>>6] |= 1 << (uint(i) & 63)
+}
+
+// Remove marks index i inactive (idempotent).
+func (s *ActiveSet) Remove(i int) {
+	if s == nil {
+		return
+	}
+	s.words[i>>6] &^= 1 << (uint(i) & 63)
+}
+
+// Contains reports membership of index i.
+func (s *ActiveSet) Contains(i int) bool {
+	if s == nil {
+		return false
+	}
+	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Len returns the number of active indices.
+func (s *ActiveSet) Len() int {
+	if s == nil {
+		return 0
+	}
+	n := 0
+	for _, w := range s.words {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Iter returns an allocation-free iterator over the active indices in
+// ascending order. Each word is snapshotted as the iterator reaches it:
+// removing the current or any already-visited index during iteration is
+// safe; indices added during iteration may or may not be visited in the
+// same pass. A nil set yields an empty iterator.
+func (s *ActiveSet) Iter() ActiveIter {
+	if s == nil {
+		return ActiveIter{}
+	}
+	return ActiveIter{words: s.words}
+}
+
+// ActiveIter iterates an ActiveSet without allocating (value type, no
+// closures). Use:
+//
+//	for it := set.Iter(); ; {
+//		i, ok := it.Next()
+//		if !ok {
+//			break
+//		}
+//		...
+//	}
+type ActiveIter struct {
+	words []uint64
+	wi    int    // next word index to snapshot
+	w     uint64 // remaining bits of word wi-1
+}
+
+// Next returns the next active index, or ok=false when exhausted.
+func (it *ActiveIter) Next() (int, bool) {
+	for {
+		if it.w != 0 {
+			b := bits.TrailingZeros64(it.w)
+			it.w &^= 1 << uint(b)
+			return (it.wi-1)<<6 + b, true
+		}
+		if it.wi >= len(it.words) {
+			return 0, false
+		}
+		it.w = it.words[it.wi]
+		it.wi++
+	}
 }

@@ -93,8 +93,7 @@ func TestTokenBucketFullRate(t *testing.T) {
 	b := NewTokenBucket(RateOne)
 	sent := 0
 	for i := 0; i < 100; i++ {
-		b.Refill()
-		if b.TrySpend() {
+		if b.TrySpendAt(Cycle(i)) {
 			sent++
 		}
 	}
@@ -110,8 +109,7 @@ func TestTokenBucketFractionalRate(t *testing.T) {
 	const n = 1600
 	sent := 0
 	for i := 0; i < n; i++ {
-		b.Refill()
-		if b.TrySpend() {
+		if b.TrySpendAt(Cycle(i)) {
 			sent++
 		}
 	}
@@ -124,11 +122,8 @@ func TestTokenBucketFractionalRate(t *testing.T) {
 func TestTokenBucketBurstBound(t *testing.T) {
 	// Idle accumulation must not bank more than ~2 flits of burst.
 	b := NewTokenBucket(RateFromFlitsPerCycle(0.5))
-	for i := 0; i < 1000; i++ {
-		b.Refill()
-	}
 	burst := 0
-	for b.TrySpend() {
+	for b.TrySpendAt(1000) {
 		burst++
 	}
 	if burst > 2 {
@@ -145,8 +140,7 @@ func TestTokenBucketNeverExceedsRate(t *testing.T) {
 		b := NewTokenBucket(RateFromFlitsPerCycle(rate))
 		sent := 0
 		for i := 0; i < n; i++ {
-			b.Refill()
-			if b.TrySpend() {
+			if b.TrySpendAt(Cycle(i)) {
 				sent++
 			}
 		}
@@ -154,6 +148,104 @@ func TestTokenBucketNeverExceedsRate(t *testing.T) {
 	}
 	if err := quick.Check(check, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestTokenBucketLazyMatchesEager proves the lazy refill is bit-identical
+// to eager per-cycle refills: a bucket probed every cycle and one probed
+// only at sparse cycles agree at every probe point.
+func TestTokenBucketLazyMatchesEager(t *testing.T) {
+	check := func(rate16 uint16, gaps []uint8) bool {
+		rate := RateFromFlitsPerCycle(float64(rate16%1000+1) / 1000.0)
+		eager := NewTokenBucket(rate)
+		lazy := NewTokenBucket(rate)
+		now := Cycle(0)
+		for _, g := range gaps {
+			now += Cycle(g%97) + 1
+			// Advance the eager twin one cycle at a time.
+			for eager.last < now {
+				eager.refillTo(eager.last + 1)
+			}
+			if eager.CanSpendAt(now) != lazy.CanSpendAt(now) {
+				return false
+			}
+			if eager.tokens != lazy.tokens {
+				return false
+			}
+			if eager.TrySpendAt(now) != lazy.TrySpendAt(now) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestActiveSetBasics(t *testing.T) {
+	s := NewActiveSet(130)
+	for _, i := range []int{0, 63, 64, 129, 64} {
+		s.Add(i)
+	}
+	if s.Len() != 4 {
+		t.Fatalf("len %d after adds, want 4", s.Len())
+	}
+	if !s.Contains(63) || s.Contains(62) {
+		t.Fatal("membership wrong")
+	}
+	var got []int
+	for it := s.Iter(); ; {
+		i, ok := it.Next()
+		if !ok {
+			break
+		}
+		got = append(got, i)
+	}
+	want := []int{0, 63, 64, 129}
+	if len(got) != len(want) {
+		t.Fatalf("iterated %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("iteration order %v, want ascending %v", got, want)
+		}
+	}
+	s.Remove(64)
+	if s.Contains(64) || s.Len() != 3 {
+		t.Fatal("remove failed")
+	}
+}
+
+func TestActiveSetRemoveDuringIteration(t *testing.T) {
+	s := NewActiveSet(256)
+	for i := 0; i < 256; i += 3 {
+		s.Add(i)
+	}
+	var visited []int
+	for it := s.Iter(); ; {
+		i, ok := it.Next()
+		if !ok {
+			break
+		}
+		visited = append(visited, i)
+		s.Remove(i) // removing the current index must not disturb iteration
+	}
+	if len(visited) != 86 || s.Len() != 0 {
+		t.Fatalf("visited %d, remaining %d", len(visited), s.Len())
+	}
+}
+
+func TestActiveSetNilSafe(t *testing.T) {
+	var s *ActiveSet
+	s.Add(5)
+	s.Remove(5)
+	if s.Contains(5) || s.Len() != 0 {
+		t.Fatal("nil set must behave as empty")
+	}
+	it := s.Iter()
+	if _, ok := it.Next(); ok {
+		t.Fatal("nil set iterated")
 	}
 }
 

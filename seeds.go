@@ -3,6 +3,9 @@ package wimc
 import (
 	"fmt"
 	"math"
+
+	"wimc/internal/engine"
+	"wimc/internal/exp"
 )
 
 // SeedStats aggregates key metrics over repeated runs with different seeds,
@@ -23,20 +26,26 @@ type SeedStats struct {
 	Results []*Result `json:"results"`
 }
 
-// RunSeeds runs the system once per seed and aggregates the results.
+// RunSeeds runs the system once per seed and aggregates the results. The
+// seeds run concurrently across the machine's cores; aggregation order is
+// the input seed order, so the statistics are deterministic.
 func RunSeeds(cfg Config, traffic TrafficSpec, seeds []uint64) (*SeedStats, error) {
 	if len(seeds) == 0 {
 		return nil, fmt.Errorf("wimc: RunSeeds needs at least one seed")
 	}
-	st := &SeedStats{Runs: len(seeds)}
-	var lat, bw, en []float64
-	for _, seed := range seeds {
+	ps := make([]engine.Params, len(seeds))
+	for i, seed := range seeds {
 		c := cfg
 		c.Seed = seed
-		r, err := Run(c, traffic)
-		if err != nil {
-			return nil, fmt.Errorf("wimc: seed %d: %w", seed, err)
-		}
+		ps[i] = engine.Params{Cfg: c, Traffic: traffic}
+	}
+	rs, idx, err := exp.RunIndexed(sweepWorkers, ps)
+	if err != nil {
+		return nil, fmt.Errorf("wimc: seed %d: %w", seeds[idx], err)
+	}
+	st := &SeedStats{Runs: len(seeds)}
+	var lat, bw, en []float64
+	for _, r := range rs {
 		st.Results = append(st.Results, r)
 		lat = append(lat, r.AvgLatency)
 		bw = append(bw, r.BandwidthPerCoreGbps)

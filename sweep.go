@@ -2,7 +2,28 @@ package wimc
 
 import (
 	"fmt"
+
+	"wimc/internal/engine"
+	"wimc/internal/exp"
 )
+
+// sweepWorkers bounds the worker pool used by LoadSweep,
+// CompareAtSaturation and RunSeeds. 0 = GOMAXPROCS.
+var sweepWorkers = 0
+
+// SetParallelism bounds the goroutines the package-level sweep helpers
+// (LoadSweep, CompareAtSaturation, RunSeeds) spawn: n = 1 forces
+// sequential execution (for embedders that already parallelize at a
+// higher level), n <= 0 restores the default of one worker per core.
+// Results are byte-identical regardless of the setting (internal/exp's
+// determinism contract). Not safe to call concurrently with running
+// sweeps.
+func SetParallelism(n int) {
+	if n < 0 {
+		n = 0
+	}
+	sweepWorkers = n
+}
 
 // LoadPoint is one sample of a latency-versus-load sweep.
 type LoadPoint struct {
@@ -12,20 +33,26 @@ type LoadPoint struct {
 
 // LoadSweep runs the system at each offered load and returns the results in
 // order (the paper's Fig. 3 methodology: average packet latency versus
-// injection load).
+// injection load). The loads run concurrently across the machine's cores;
+// results are deterministic and ordered regardless of parallelism (see
+// internal/exp for the contract).
 func LoadSweep(cfg Config, traffic TrafficSpec, loads []float64) ([]LoadPoint, error) {
 	if len(loads) == 0 {
 		return nil, fmt.Errorf("wimc: load sweep needs at least one load")
 	}
-	out := make([]LoadPoint, 0, len(loads))
-	for _, l := range loads {
+	ps := make([]engine.Params, len(loads))
+	for i, l := range loads {
 		t := traffic
 		t.Rate = l
-		r, err := Run(cfg, t)
-		if err != nil {
-			return nil, fmt.Errorf("wimc: load %v: %w", l, err)
-		}
-		out = append(out, LoadPoint{Load: l, Result: r})
+		ps[i] = engine.Params{Cfg: cfg, Traffic: t}
+	}
+	rs, idx, err := exp.RunIndexed(sweepWorkers, ps)
+	if err != nil {
+		return nil, fmt.Errorf("wimc: load %v: %w", loads[idx], err)
+	}
+	out := make([]LoadPoint, 0, len(loads))
+	for i, l := range loads {
+		out = append(out, LoadPoint{Load: l, Result: rs[i]})
 	}
 	return out, nil
 }
@@ -73,15 +100,18 @@ func GainOver(sys, base *Result) Gain {
 
 // CompareAtSaturation runs every configuration at maximum load under the
 // same workload and returns the results in input order (Fig. 2
-// methodology).
+// methodology). The configurations run concurrently across the machine's
+// cores with deterministic, ordered results.
 func CompareAtSaturation(cfgs []Config, traffic TrafficSpec) ([]*Result, error) {
-	out := make([]*Result, 0, len(cfgs))
-	for _, c := range cfgs {
-		r, err := Saturate(c, traffic)
-		if err != nil {
-			return nil, fmt.Errorf("wimc: %s: %w", c.Name, err)
-		}
-		out = append(out, r)
+	t := traffic
+	t.Rate = 1.0
+	ps := make([]engine.Params, len(cfgs))
+	for i, c := range cfgs {
+		ps[i] = engine.Params{Cfg: c, Traffic: t}
 	}
-	return out, nil
+	rs, idx, err := exp.RunIndexed(sweepWorkers, ps)
+	if err != nil {
+		return nil, fmt.Errorf("wimc: %s: %w", cfgs[idx].Name, err)
+	}
+	return rs, nil
 }
