@@ -93,10 +93,27 @@ func BenchmarkSimulationThroughput(b *testing.B) {
 	b.ReportMetric(float64(cfg.MeasureCycles)*float64(b.N)/b.Elapsed().Seconds(), "cycles/s")
 }
 
+// BenchmarkExtensionScaleSweep regenerates the large-system scale sweep in
+// quick mode (4/16/64 chips, three architectures, saturation load).
+func BenchmarkExtensionScaleSweep(b *testing.B) { benchFigure(b, "scale") }
+
 // BenchmarkSystemConstruction measures topology + routing + wiring time for
-// the largest preset.
+// the paper's largest preset.
 func BenchmarkSystemConstruction(b *testing.B) {
 	cfg := wimc.MustXCYM(8, 4, wimc.ArchWireless)
+	traffic := wimc.TrafficSpec{Kind: wimc.TrafficUniform, Rate: 0.001, MemFraction: 0.2}
+	for i := 0; i < b.N; i++ {
+		if _, err := wimc.New(cfg, traffic); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkLargeSystemConstruction measures construction of the 64-chip,
+// 1024-core generalized preset: sharded topology build, parallel
+// per-destination routing tables and the memoized deadlock verification.
+func BenchmarkLargeSystemConstruction(b *testing.B) {
+	cfg := wimc.MustXCYM(64, 64, wimc.ArchWireless)
 	traffic := wimc.TrafficSpec{Kind: wimc.TrafficUniform, Rate: 0.001, MemFraction: 0.2}
 	for i := 0; i < b.N; i++ {
 		if _, err := wimc.New(cfg, traffic); err != nil {

@@ -6,8 +6,9 @@
 //
 // Usage:
 //
-//	wimcbench [-fig all|fig2|fig3|fig4|fig5|fig6|mac|channel|routing|sleep|density|hybrid|readrt]
+//	wimcbench [-fig all|fig2|fig3|fig4|fig5|fig6|mac|channel|routing|sleep|density|hybrid|readrt|scale]
 //	          [-quick] [-seed N] [-csv DIR] [-parallel=false] [-workers N]
+//	          [-scale-sizes 4,16,64]
 package main
 
 import (
@@ -15,6 +16,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
+	"strings"
 	"time"
 
 	"wimc/internal/figures"
@@ -22,20 +25,27 @@ import (
 
 func main() {
 	var (
-		fig      = flag.String("fig", "all", "experiment to run (all, fig2..fig6, mac, channel, routing, sleep, density, hybrid, readrt)")
-		quick    = flag.Bool("quick", false, "shortened simulation windows")
-		seed     = flag.Uint64("seed", 0, "override RNG seed (0 = default)")
-		csv      = flag.String("csv", "", "directory to write CSV files into")
-		parallel = flag.Bool("parallel", true, "fan independent runs out across cores (results identical either way)")
-		workers  = flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
+		fig        = flag.String("fig", "all", "experiment to run (all, fig2..fig6, mac, channel, routing, sleep, density, hybrid, readrt, scale)")
+		quick      = flag.Bool("quick", false, "shortened simulation windows")
+		seed       = flag.Uint64("seed", 0, "override RNG seed (0 = default)")
+		csv        = flag.String("csv", "", "directory to write CSV files into")
+		parallel   = flag.Bool("parallel", true, "fan independent runs out across cores (results identical either way)")
+		workers    = flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
+		scaleSizes = flag.String("scale-sizes", "", "comma-separated chip counts for the scale sweep (default 4,8,16,32,64; quick 4,16,64)")
 	)
 	flag.Parse()
+
+	sizes, err := parseSizes(*scaleSizes)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wimcbench: -scale-sizes: %v\n", err)
+		os.Exit(2)
+	}
 
 	ids := figures.Experiments()
 	if *fig != "all" {
 		ids = []string{*fig}
 	}
-	opts := figures.Opts{Quick: *quick, Seed: *seed, Workers: *workers}
+	opts := figures.Opts{Quick: *quick, Seed: *seed, Workers: *workers, ScaleSizes: sizes}
 	if !*parallel {
 		opts.Workers = 1
 	}
@@ -61,6 +71,21 @@ func main() {
 	if len(ids) > 1 {
 		fmt.Fprintf(os.Stderr, "wimcbench: total    %8.3fs\n", total.Seconds())
 	}
+}
+
+func parseSizes(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var sizes []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("bad chip count %q", part)
+		}
+		sizes = append(sizes, n)
+	}
+	return sizes, nil
 }
 
 func writeCSV(dir string, t *figures.Table) error {

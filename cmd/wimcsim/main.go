@@ -3,11 +3,15 @@
 //
 // Usage:
 //
-//	wimcsim [-chips 4] [-arch wireless|interposer|substrate|hybrid]
+//	wimcsim [-chips 4] [-stacks 0] [-arch wireless|interposer|substrate|hybrid]
 //	        [-traffic uniform|hotspot|transpose|bit-complement|app]
 //	        [-rate 0.002] [-mem 0.2] [-app canneal]
 //	        [-cycles 10000] [-seed 1] [-config file.json] [-json]
 //	        [-trace packets.jsonl]
+//
+// Any chip count is accepted: 1/4/8 use the paper's geometries, other
+// counts the generalized large-system presets (-stacks 0 scales stacks
+// with the chip count).
 package main
 
 import (
@@ -22,8 +26,9 @@ import (
 
 func main() {
 	var (
-		chips   = flag.Int("chips", 4, "processing chips (1, 4 or 8)")
-		arch    = flag.String("arch", "wireless", "architecture: substrate, interposer, wireless")
+		chips   = flag.Int("chips", 4, "processing chips (1/4/8 = paper presets; others = generalized grids)")
+		stacks  = flag.Int("stacks", 0, "memory stacks (0 = scale with chip count)")
+		arch    = flag.String("arch", "wireless", "architecture: substrate, interposer, wireless, hybrid")
 		traffic = flag.String("traffic", "uniform", "traffic kind: uniform, hotspot, transpose, bit-complement, app")
 		rate    = flag.Float64("rate", 0.002, "injection rate (packets/core/cycle); 1.0 = saturation")
 		mem     = flag.Float64("mem", 0.2, "memory-access fraction")
@@ -37,7 +42,7 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg, err := buildConfig(*cfgFile, *chips, *arch)
+	cfg, err := buildConfig(*cfgFile, *chips, *stacks, *arch)
 	if err != nil {
 		fatal(err)
 	}
@@ -90,7 +95,7 @@ func main() {
 	printResult(res)
 }
 
-func buildConfig(path string, chips int, arch string) (wimc.Config, error) {
+func buildConfig(path string, chips, stacks int, arch string) (wimc.Config, error) {
 	if path != "" {
 		data, err := os.ReadFile(path)
 		if err != nil {
@@ -98,7 +103,10 @@ func buildConfig(path string, chips int, arch string) (wimc.Config, error) {
 		}
 		return wimc.ParseConfig(data)
 	}
-	return wimc.XCYM(chips, 4, wimc.Architecture(arch))
+	if stacks <= 0 {
+		stacks = wimc.DefaultStacks(chips)
+	}
+	return wimc.XCYM(chips, stacks, wimc.Architecture(arch))
 }
 
 func printResult(r *wimc.Result) {

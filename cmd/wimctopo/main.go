@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	wimctopo [-chips 4] [-arch wireless] [-routing shortest|tree] [-paths]
+//	wimctopo [-chips 4] [-stacks 0] [-arch wireless] [-routing shortest|tree] [-paths]
 package main
 
 import (
@@ -20,14 +20,18 @@ import (
 
 func main() {
 	var (
-		chips   = flag.Int("chips", 4, "processing chips (1, 4 or 8)")
+		chips   = flag.Int("chips", 4, "processing chips (1/4/8 = paper presets; others = generalized grids)")
+		stacks  = flag.Int("stacks", 0, "memory stacks (0 = scale with chip count)")
 		arch    = flag.String("arch", "wireless", "architecture")
 		routing = flag.String("routing", "shortest", "routing mode: shortest, tree")
 		paths   = flag.Bool("paths", false, "dump a routing path sample")
 	)
 	flag.Parse()
 
-	cfg, err := config.XCYM(*chips, 4, config.Architecture(*arch))
+	if *stacks <= 0 {
+		*stacks = config.DefaultStacks(*chips)
+	}
+	cfg, err := config.XCYM(*chips, *stacks, config.Architecture(*arch))
 	if err != nil {
 		fatal(err)
 	}

@@ -1,0 +1,44 @@
+// Sweep system size well beyond the paper's 8-chip limit: saturation
+// throughput and energy per bit for the three architectures at 4, 16 and
+// 64 chips (256 and 1024 cores use the generalized XCYM grids, built by
+// the sharded topology constructor and run under the active-set
+// scheduler).
+//
+//	go run ./examples/scale
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wimc"
+)
+
+func main() {
+	traffic := wimc.TrafficSpec{
+		Kind:        wimc.TrafficUniform,
+		MemFraction: 0.2,
+	}
+	sizes := []int{4, 16, 64}
+	archs := []wimc.Architecture{
+		wimc.ArchSubstrate, wimc.ArchInterposer, wimc.ArchWireless,
+	}
+
+	pts, err := wimc.ScaleSweep(sizes, archs, traffic)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	def := wimc.Default()
+	bitsPerPacket := float64(def.PacketFlits * def.FlitBits)
+
+	fmt.Println("Saturation throughput and energy/bit vs system size:")
+	fmt.Printf("  %-8s %-6s %-11s %14s %12s\n",
+		"config", "cores", "arch", "Gbps/core", "pJ/bit")
+	for _, p := range pts {
+		r := p.Result
+		fmt.Printf("  %-8s %-6d %-11s %14.3f %12.1f\n",
+			fmt.Sprintf("%dC%dM", p.Chips, p.Stacks), r.Cores, p.Arch,
+			r.BandwidthPerCoreGbps, r.AvgPacketEnergyNJ*1000/bitsPerPacket)
+	}
+}

@@ -222,9 +222,16 @@ func Default() Config {
 	}
 }
 
-// XCYM returns the preset geometry for one of the paper's standard
-// configurations (1, 4 or 8 chips with 4 memory stacks; 64 cores total)
-// under the given architecture.
+// XCYM returns the preset geometry for chips processing chips and stacks
+// in-package memory stacks under the given architecture.
+//
+// The paper's standard configurations (1, 4 or 8 chips; 64 cores total)
+// keep their published geometry. Any other chip count generalizes the 4C4M
+// design point to the multichip-accelerator scale the paper never reached:
+// chips are arranged in the most-square grid that factors the count, each
+// chip is the paper's 4x4-core mesh with one wireless interface, and stacks
+// (still even, flanking both sides) typically scale with the chip count —
+// XCYM(32, 32, arch) is a 1:1 compute:memory package of 512 cores.
 func XCYM(chips, stacks int, arch Architecture) (Config, error) {
 	c := Default()
 	c.Arch = arch
@@ -243,10 +250,39 @@ func XCYM(chips, stacks int, arch Architecture) (Config, error) {
 		c.CoresX, c.CoresY = 2, 4
 		c.CoresPerWI = 8 // 1 WI per chip (paper: density raised to keep connectivity)
 	default:
-		return Config{}, fmt.Errorf("config: no XCYM preset for %d chips (want 1, 4 or 8)", chips)
+		if chips < 1 {
+			return Config{}, fmt.Errorf("config: no XCYM preset for %d chips (want >= 1)", chips)
+		}
+		c.ChipsX, c.ChipsY = chipGrid(chips)
+		c.CoresX, c.CoresY = 4, 4
+		c.CoresPerWI = 16 // 1 WI per chip
 	}
 	c.Name = fmt.Sprintf("%dC%dM (%s)", chips, stacks, titleASCII(string(arch)))
 	return c, nil
+}
+
+// chipGrid returns the most-square (x, y) factorization of n with x >= y —
+// the chip-grid shape of generalized XCYM presets. The paper's own 8-chip
+// preset follows the same rule (4x2).
+func chipGrid(n int) (x, y int) {
+	x, y = n, 1
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			x, y = n/d, d
+		}
+	}
+	return x, y
+}
+
+// DefaultStacks returns the memory-stack count the XCYM presets pair with a
+// chip count: the paper's 4 stacks for its 1/4/8-chip systems, and
+// proportional scaling (one stack per chip, rounded up to even — stacks
+// flank both sides of the package) beyond them.
+func DefaultStacks(chips int) int {
+	if chips <= 8 {
+		return 4
+	}
+	return chips + chips%2
 }
 
 // titleASCII upper-cases the first byte of an ASCII word (architecture names

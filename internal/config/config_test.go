@@ -51,9 +51,71 @@ func TestXCYMPresets(t *testing.T) {
 	}
 }
 
-func TestXCYMUnknownChips(t *testing.T) {
-	if _, err := XCYM(3, 4, ArchWireless); err == nil {
-		t.Fatal("XCYM(3) accepted")
+func TestXCYMRejectsNonPositiveChips(t *testing.T) {
+	for _, chips := range []int{0, -4} {
+		if _, err := XCYM(chips, 4, ArchWireless); err == nil {
+			t.Fatalf("XCYM(%d) accepted", chips)
+		}
+	}
+}
+
+// TestXCYMLargePresets covers the generalized grids beyond the paper's
+// 1/4/8-chip systems: near-square chip grids of 4x4-core chips, one WI per
+// chip, proportionally scaled stacks.
+func TestXCYMLargePresets(t *testing.T) {
+	tests := []struct {
+		chips, stacks  int
+		wantGX, wantGY int
+		wantCores      int
+	}{
+		{2, 2, 2, 1, 32},
+		{16, 16, 4, 4, 256},
+		{32, 32, 8, 4, 512},
+		{64, 64, 8, 8, 1024},
+	}
+	for _, tc := range tests {
+		for _, arch := range []Architecture{ArchSubstrate, ArchInterposer, ArchWireless, ArchHybrid} {
+			cfg, err := XCYM(tc.chips, tc.stacks, arch)
+			if err != nil {
+				t.Fatalf("XCYM(%d, %d, %s): %v", tc.chips, tc.stacks, arch, err)
+			}
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("XCYM(%d, %d, %s) invalid: %v", tc.chips, tc.stacks, arch, err)
+			}
+			if cfg.ChipsX != tc.wantGX || cfg.ChipsY != tc.wantGY {
+				t.Errorf("XCYM(%d): grid %dx%d, want %dx%d",
+					tc.chips, cfg.ChipsX, cfg.ChipsY, tc.wantGX, tc.wantGY)
+			}
+			if cfg.Cores() != tc.wantCores {
+				t.Errorf("XCYM(%d): cores = %d, want %d", tc.chips, cfg.Cores(), tc.wantCores)
+			}
+			if cfg.WIsPerChip() != 1 {
+				t.Errorf("XCYM(%d): WIs/chip = %d, want 1", tc.chips, cfg.WIsPerChip())
+			}
+		}
+	}
+}
+
+func TestChipGrid(t *testing.T) {
+	tests := []struct{ n, x, y int }{
+		{1, 1, 1}, {2, 2, 1}, {6, 3, 2}, {7, 7, 1}, {12, 4, 3},
+		{16, 4, 4}, {32, 8, 4}, {36, 6, 6}, {64, 8, 8},
+	}
+	for _, tc := range tests {
+		if x, y := chipGrid(tc.n); x != tc.x || y != tc.y {
+			t.Errorf("chipGrid(%d) = %dx%d, want %dx%d", tc.n, x, y, tc.x, tc.y)
+		}
+	}
+}
+
+func TestDefaultStacks(t *testing.T) {
+	tests := []struct{ chips, want int }{
+		{1, 4}, {4, 4}, {8, 4}, {16, 16}, {15, 16}, {64, 64},
+	}
+	for _, tc := range tests {
+		if got := DefaultStacks(tc.chips); got != tc.want {
+			t.Errorf("DefaultStacks(%d) = %d, want %d", tc.chips, got, tc.want)
+		}
 	}
 }
 
@@ -67,10 +129,10 @@ func TestXCYMNames(t *testing.T) {
 func TestMustXCYMPanics(t *testing.T) {
 	defer func() {
 		if recover() == nil {
-			t.Fatal("MustXCYM(7) did not panic")
+			t.Fatal("MustXCYM(0) did not panic")
 		}
 	}()
-	MustXCYM(7, 4, ArchWireless)
+	MustXCYM(0, 4, ArchWireless)
 }
 
 func TestValidationErrors(t *testing.T) {

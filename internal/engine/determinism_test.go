@@ -44,7 +44,14 @@ func determinismParams() []Params {
 	wired.WarmupCycles = 200
 	wired.MeasureCycles = 1500
 
+	// A generalized large preset: 256 cores through the sharded topology
+	// builder, parallel routing-table fill and the active-set scheduler.
+	large := config.MustXCYM(16, 16, config.ArchWireless)
+	large.WarmupCycles = 100
+	large.MeasureCycles = 600
+
 	return []Params{
+		{Cfg: large, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.002, MemFraction: 0.2}},
 		{Cfg: wireless, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.002, MemFraction: 0.2}},
 		{Cfg: reads, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.001, MemFraction: 0.5, MemReadFraction: 1.0}},
 		{Cfg: exclusive, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.0003, MemFraction: 0.2}},
@@ -91,6 +98,32 @@ func TestActiveSetMatchesFullTick(t *testing.T) {
 	}
 }
 
+// TestPipelineInvariantsEveryCycle steps a loaded wireless system cycle by
+// cycle under both scheduling paths and recomputes every switch's
+// ready/rcReady masks and buffered/waiting counters from the VC buffers
+// each cycle (the ROADMAP's recompute-style mask invariant check: a mask
+// update dropped from shared switch code would skew both paths equally, so
+// only recomputation catches it).
+func TestPipelineInvariantsEveryCycle(t *testing.T) {
+	cfg := config.MustXCYM(4, 4, config.ArchWireless)
+	cfg.WarmupCycles = 100
+	cfg.MeasureCycles = 500
+	tr := TrafficSpec{Kind: TrafficUniform, Rate: 0.05, MemFraction: 0.3, MemReadFraction: 0.5}
+	for _, fullTick := range []bool{false, true} {
+		e, err := New(Params{Cfg: cfg, Traffic: tr, FullTick: fullTick})
+		if err != nil {
+			t.Fatal(err)
+		}
+		total := cfg.WarmupCycles + cfg.MeasureCycles
+		for ; e.now < total; e.now++ {
+			e.step()
+			if err := e.CheckPipelineInvariants(); err != nil {
+				t.Fatalf("fullTick=%v cycle %d: %v", fullTick, e.now, err)
+			}
+		}
+	}
+}
+
 // TestActiveSetMatchesFullTickAtSaturation exercises the schedulers where
 // every component stays busy (saturation) and where drain empties the
 // system, with conservation checked on both paths.
@@ -114,6 +147,9 @@ func TestActiveSetMatchesFullTickAtSaturation(t *testing.T) {
 			t.Fatal(err)
 		}
 		if err := e.CheckFlitConservation(); err != nil {
+			t.Fatal(err)
+		}
+		if err := e.CheckPipelineInvariants(); err != nil {
 			t.Fatal(err)
 		}
 		return r, e

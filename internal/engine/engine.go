@@ -59,6 +59,12 @@ type Params struct {
 	// cycle-identical either way (the determinism regression test asserts
 	// it); FullTick exists to keep that claim checkable forever.
 	FullTick bool
+	// BuildWorkers bounds the worker pool used for topology and
+	// routing-table construction: <= 0 means runtime.GOMAXPROCS(0), 1
+	// forces sequential construction. The built system is byte-identical
+	// for every value; the experiment runner sets 1 when its own pool
+	// already spans the cores (nested parallelism would oversubscribe).
+	BuildWorkers int
 }
 
 // Engine is an assembled simulation ready to run.
@@ -171,11 +177,11 @@ func New(p Params) (*Engine, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	g, err := topo.Build(cfg)
+	g, err := topo.BuildWorkers(cfg, p.BuildWorkers)
 	if err != nil {
 		return nil, err
 	}
-	tables, err := route.Build(g)
+	tables, err := route.BuildWorkers(g, p.BuildWorkers)
 	if err != nil {
 		return nil, err
 	}

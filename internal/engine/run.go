@@ -375,6 +375,19 @@ func Run(p Params) (*Result, error) {
 	return e.Run()
 }
 
+// CheckPipelineInvariants recomputes every switch's incrementally
+// maintained pipeline state (ready/rcReady VC masks, buffered and waiting
+// counters) from its VC buffers and reports the first drift (test and
+// validation hook; call after Run or between runs).
+func (e *Engine) CheckPipelineInvariants() error {
+	for _, s := range e.switches {
+		if err := s.CheckPipelineInvariants(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // CheckFlitConservation verifies that every flit injected by an NI is
 // either consumed at a destination or still inside the network (test and
 // validation hook; call after Run).

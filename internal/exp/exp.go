@@ -1,39 +1,11 @@
-// Package exp is the parallel experiment runner of the wimc simulator: it
-// fans independent engine runs out across a bounded worker pool while
-// keeping every observable output identical to a sequential loop.
-//
-// # Determinism contract
-//
-// The simulator itself is strictly deterministic: a run's entire random
-// stream derives from its Params (Config.Seed), never from wall-clock time
-// or goroutine scheduling, and one engine never shares mutable state with
-// another. The runner preserves that property across parallel execution:
-//
-//   - Results are returned in input order: results[i] is the outcome of
-//     params[i], no matter which worker ran it or when it finished.
-//   - The error returned is the error of the lowest-index failing run —
-//     the same one a sequential loop would have reported first (runs after
-//     a failure may or may not execute, but their outcomes are discarded).
-//   - Per-run seeds are fixed in the Params before any worker starts;
-//     DeriveSeed/Replicate give statistically independent replicas whose
-//     seeds depend only on (base seed, replica index).
-//
-// Consequently Run(1, ps) and Run(n, ps) produce byte-identical results,
-// and regenerating a figure through the runner is reproducible bit-for-bit
-// regardless of GOMAXPROCS.
-//
-// Params with a non-nil Trace writer must not share that writer between
-// runs executed concurrently; give each run its own writer (or run with
-// workers = 1).
 package exp
 
 import (
 	"hash/fnv"
 	"runtime"
-	"sync"
-	"sync/atomic"
 
 	"wimc/internal/engine"
+	"wimc/internal/exp/pool"
 )
 
 // Run executes every params entry and returns the results in input order.
@@ -47,47 +19,46 @@ func Run(workers int, params []engine.Params) ([]*engine.Result, error) {
 // RunIndexed is Run, additionally reporting the input index the returned
 // error belongs to (-1 when err is nil) so callers can attach run-specific
 // context (the load, the seed, the configuration name).
+//
+// A failing run fails the batch fast: workers stop claiming new entries as
+// soon as any run errors (pool.ForEach's failed flag), instead of running
+// every queued entry to completion. The reported error is still the
+// lowest-index failure — the one a sequential loop would have hit first.
 func RunIndexed(workers int, params []engine.Params) ([]*engine.Result, int, error) {
-	if workers <= 0 {
-		workers = runtime.GOMAXPROCS(0)
+	if len(params) == 0 {
+		return []*engine.Result{}, -1, nil
 	}
-	if workers > len(params) {
-		workers = len(params)
+	// Split the caller's worker budget (GOMAXPROCS when unbounded) between
+	// the pool and each run's inner topology/routing construction, so the
+	// batch as a whole never exceeds the budget: a core-spanning pool
+	// leaves construction sequential, while a pool narrower than the
+	// budget (few or large runs) hands each run the leftover parallelism.
+	// Results are unchanged in every case: construction is worker-count
+	// invariant.
+	budget := workers
+	if budget <= 0 {
+		budget = runtime.GOMAXPROCS(0)
+	}
+	outer := budget
+	if outer > len(params) {
+		outer = len(params)
+	}
+	innerBudget := budget / outer
+	if innerBudget < 1 {
+		innerBudget = 1
 	}
 	results := make([]*engine.Result, len(params))
-	if workers <= 1 {
-		for i := range params {
-			r, err := engine.Run(params[i])
-			if err != nil {
-				return nil, i, err
-			}
-			results[i] = r
+	idx, err := pool.ForEach(workers, len(params), func(i int) error {
+		p := params[i]
+		if p.BuildWorkers <= 0 {
+			p.BuildWorkers = innerBudget
 		}
-		return results, -1, nil
-	}
-
-	errs := make([]error, len(params))
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	wg.Add(workers)
-	for w := 0; w < workers; w++ {
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(params) {
-					return
-				}
-				results[i], errs[i] = engine.Run(params[i])
-			}
-		}()
-	}
-	wg.Wait()
-	// Report the lowest-index failure, exactly as a sequential loop would.
-	for i, err := range errs {
-		if err != nil {
-			return nil, i, err
-		}
+		r, err := engine.Run(p)
+		results[i] = r
+		return err
+	})
+	if err != nil {
+		return nil, idx, err
 	}
 	return results, -1, nil
 }

@@ -123,3 +123,14 @@ func TestReplicate(t *testing.T) {
 		t.Fatal("derived seeds produced identical runs")
 	}
 }
+
+// TestRunEmptyBatch: an empty batch is a clean no-op at any worker count
+// (regression: a budget division once panicked on len(params) == 0).
+func TestRunEmptyBatch(t *testing.T) {
+	for _, workers := range []int{0, 1, 4} {
+		rs, idx, err := RunIndexed(workers, nil)
+		if err != nil || idx != -1 || len(rs) != 0 {
+			t.Fatalf("workers=%d: rs=%v idx=%d err=%v", workers, rs, idx, err)
+		}
+	}
+}

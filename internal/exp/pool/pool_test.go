@@ -1,0 +1,101 @@
+package pool
+
+import (
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestForEachRunsEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{0, 1, 2, 8} {
+		n := 100
+		counts := make([]atomic.Int32, n)
+		idx, err := ForEach(workers, n, func(i int) error {
+			counts[i].Add(1)
+			return nil
+		})
+		if err != nil || idx != -1 {
+			t.Fatalf("workers=%d: idx=%d err=%v", workers, idx, err)
+		}
+		for i := range counts {
+			if c := counts[i].Load(); c != 1 {
+				t.Fatalf("workers=%d: index %d ran %d times", workers, i, c)
+			}
+		}
+	}
+}
+
+func TestForEachEmpty(t *testing.T) {
+	idx, err := ForEach(4, 0, func(int) error { return errors.New("never") })
+	if idx != -1 || err != nil {
+		t.Fatalf("empty batch: idx=%d err=%v", idx, err)
+	}
+}
+
+// TestForEachLowestIndexError: even when a higher index fails first in wall
+// time, the reported error is the lowest failing index — identical to a
+// sequential loop.
+func TestForEachLowestIndexError(t *testing.T) {
+	n := 16
+	fail := map[int]bool{3: true, 5: true, 12: true}
+	for _, workers := range []int{1, 4} {
+		idx, err := ForEach(workers, n, func(i int) error {
+			if i == 3 {
+				time.Sleep(2 * time.Millisecond) // let index 5 fail first
+			}
+			if fail[i] {
+				return fmt.Errorf("boom %d", i)
+			}
+			return nil
+		})
+		if idx != 3 || err == nil || err.Error() != "boom 3" {
+			t.Fatalf("workers=%d: idx=%d err=%v, want lowest failing index 3", workers, idx, err)
+		}
+	}
+}
+
+// TestForEachSequentialFailFast: with one worker, nothing after the failing
+// index runs at all.
+func TestForEachSequentialFailFast(t *testing.T) {
+	var ran atomic.Int32
+	idx, err := ForEach(1, 50, func(i int) error {
+		ran.Add(1)
+		if i == 7 {
+			return errors.New("stop")
+		}
+		return nil
+	})
+	if idx != 7 || err == nil {
+		t.Fatalf("idx=%d err=%v", idx, err)
+	}
+	if got := ran.Load(); got != 8 {
+		t.Fatalf("sequential loop ran %d entries, want 8 (0..7)", got)
+	}
+}
+
+// TestForEachParallelFailFast: an immediate failure stops workers from
+// claiming the rest of a long queue. The bound is deliberately loose (each
+// worker may have claimed one more entry before observing the flag, and the
+// remaining entries take ~1ms each), but a runner without the failed flag
+// would execute all 256 entries.
+func TestForEachParallelFailFast(t *testing.T) {
+	const n = 256
+	const workers = 4
+	var ran atomic.Int32
+	idx, err := ForEach(workers, n, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("bad config")
+		}
+		time.Sleep(time.Millisecond)
+		return nil
+	})
+	if idx != 0 || err == nil {
+		t.Fatalf("idx=%d err=%v", idx, err)
+	}
+	if got := ran.Load(); got > 4*workers {
+		t.Fatalf("fail-fast executed %d of %d entries, want <= %d", got, n, 4*workers)
+	}
+}

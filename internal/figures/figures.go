@@ -1,7 +1,3 @@
-// Package figures regenerates every table and figure of the paper's
-// evaluation (§IV) plus the ablations called out in DESIGN.md §7. Each
-// experiment returns a Table that the wimcbench command renders as text or
-// CSV and that bench_test.go drives under testing.B.
 package figures
 
 import (
@@ -84,6 +80,10 @@ type Opts struct {
 	// (GOMAXPROCS), 1 runs sequentially. Tables are byte-identical either
 	// way (internal/exp's determinism contract).
 	Workers int
+	// ScaleSizes overrides the system-size ladder of the scale sweep
+	// (chip counts; stacks scale along). Empty selects the default ladder
+	// (4..64 chips, or a three-point ladder under Quick).
+	ScaleSizes []int
 }
 
 func (o Opts) apply(cfg *config.Config) {
@@ -167,11 +167,13 @@ func reductionPct(base, sys float64) float64 {
 }
 
 // Experiments lists every experiment ID in run order: the paper's five
-// figures, the five DESIGN.md ablations, and two extension experiments.
+// figures, the five DESIGN.md ablations, and three extension experiments
+// (hybrid architecture, memory read round trips, and the large-system
+// scale sweep).
 func Experiments() []string {
 	return []string{"fig2", "fig3", "fig4", "fig5", "fig6",
 		"mac", "channel", "routing", "sleep", "density",
-		"hybrid", "readrt"}
+		"hybrid", "readrt", "scale"}
 }
 
 // Run executes one experiment by ID.
@@ -201,6 +203,8 @@ func Run(id string, o Opts) (*Table, error) {
 		return ExtensionHybrid(o)
 	case "readrt":
 		return ExtensionReadRoundTrip(o)
+	case "scale":
+		return ScaleSweep(o)
 	default:
 		return nil, fmt.Errorf("figures: unknown experiment %q (have %v)", id, Experiments())
 	}

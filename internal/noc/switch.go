@@ -554,3 +554,62 @@ func (s *Switch) CountBufferedFlits() int {
 	}
 	return total
 }
+
+// CheckPipelineInvariants recomputes every incrementally maintained
+// pipeline predicate — the per-port ready/rcReady VC bitmasks, the per-port
+// and per-switch buffered counters and the waiting counter — from the
+// underlying VC state machines, and reports the first drift. The masks and
+// counters are shared by the active-set and FullTick scheduling paths, so
+// the determinism suite alone cannot catch a dropped update (both paths
+// would skip the same work); this recompute-style check can. The invariants:
+//
+//	ready[vc]   ⇔ state == vcActive && buffer nonempty (SA nominee)
+//	rcReady[vc] ⇔ state == vcIdle   && buffer nonempty (RC candidate)
+//	port.buffered   = Σ VC buffer occupancy over the port
+//	switch.buffered = Σ port.buffered
+//	switch.waiting  = #VCs in vcWaitVC state
+func (s *Switch) CheckPipelineInvariants() error {
+	total, waiting := 0, 0
+	for pi, ip := range s.in {
+		var ready, rcReady uint64
+		portFlits := 0
+		for vi := range ip.vcs {
+			vc := &ip.vcs[vi]
+			n := vc.buf.len()
+			portFlits += n
+			if n > 0 {
+				switch vc.state {
+				case vcActive:
+					ready |= 1 << uint(vi)
+				case vcIdle:
+					rcReady |= 1 << uint(vi)
+				}
+			}
+			if vc.state == vcWaitVC {
+				waiting++
+			}
+		}
+		if ip.ready != ready {
+			return fmt.Errorf("noc: switch %d port %d ready mask %064b, recomputed %064b",
+				s.ID, pi, ip.ready, ready)
+		}
+		if ip.rcReady != rcReady {
+			return fmt.Errorf("noc: switch %d port %d rcReady mask %064b, recomputed %064b",
+				s.ID, pi, ip.rcReady, rcReady)
+		}
+		if ip.buffered != portFlits {
+			return fmt.Errorf("noc: switch %d port %d buffered counter %d, buffers hold %d",
+				s.ID, pi, ip.buffered, portFlits)
+		}
+		total += portFlits
+	}
+	if s.buffered != total {
+		return fmt.Errorf("noc: switch %d buffered counter %d, buffers hold %d",
+			s.ID, s.buffered, total)
+	}
+	if s.waiting != waiting {
+		return fmt.Errorf("noc: switch %d waiting counter %d, %d VCs in vcWaitVC",
+			s.ID, s.waiting, waiting)
+	}
+	return nil
+}

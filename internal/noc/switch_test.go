@@ -287,6 +287,39 @@ func TestBufferedCounterMatchesBuffers(t *testing.T) {
 	}
 }
 
+// TestPipelineInvariantsHold is the recompute-style invariant check for the
+// incrementally maintained SA/RC readiness masks and waiting counter (the
+// buffered counter's sibling check is TestBufferedCounterMatchesBuffers).
+// The masks are shared by the active-set and FullTick scheduling paths, so
+// the engine determinism suite cannot catch a dropped mask update — this
+// recomputation can. Traffic is shaped to cycle VCs through all three
+// wormhole states: a rate-limited link keeps packets backed up (vcWaitVC,
+// vcActive with empty and nonempty buffers) before the pipe drains back to
+// idle.
+func TestPipelineInvariantsHold(t *testing.T) {
+	o := defaultPipeOpts()
+	o.linkRate = sim.RateFromFlitsPerCycle(0.5)
+	o.depth = 2
+	p := newPipe(t, o)
+	for i := 0; i < 6; i++ {
+		p.src.Offer(mkPacket(uint64(i+1), 5))
+	}
+	for cycle := 0; cycle < 200; cycle++ {
+		p.step()
+		for _, sw := range []*Switch{p.sw0, p.sw1} {
+			if err := sw.CheckPipelineInvariants(); err != nil {
+				t.Fatalf("cycle %d: %v", cycle, err)
+			}
+		}
+	}
+	if p.sw0.BufferedFlits() != 0 || p.sw1.BufferedFlits() != 0 {
+		t.Fatal("pipe did not drain")
+	}
+	if len(p.delivered) != 6 {
+		t.Fatalf("delivered %d packets, want 6", len(p.delivered))
+	}
+}
+
 // TestNewSwitchRejectsOver64VCs: the VC bitmask limit fails loudly at
 // construction, matching the output-port limit.
 func TestNewSwitchRejectsOver64VCs(t *testing.T) {

@@ -21,6 +21,15 @@ import (
 //
 // All switch pairs are considered as source/destination, which over-covers
 // the actual endpoint-attached switches (conservative).
+//
+// The walk memoizes per destination: routing is memoryless, so the channel
+// sequence from an intermediate state (switch, wireless phase) toward d is
+// the same whichever source reached it, and an already-visited state means
+// its whole suffix is already in the dependency graph. One walk therefore
+// stops at the first visited state (recording only the dependency into it),
+// which bounds the total work per destination by the state count — O(n)
+// rather than O(n × path length) — and keeps the check affordable at
+// 64-chip scale.
 func CheckDeadlockFree(g *topo.Graph, t *Tables) error {
 	n := g.SwitchCount()
 	phased := g.HasWireless()
@@ -31,49 +40,74 @@ func CheckDeadlockFree(g *topo.Graph, t *Tables) error {
 	}
 
 	deps := make(map[int][]int, n*4)
-	seen := make(map[[2]int]bool, n*8)
 	used := make(map[int]bool, n*4)
+	// Channel IDs carry no destination, so the same (prev, next) channel
+	// pair recurs across destination epochs; every dependency goes through
+	// one dedup set to keep the CDG free of parallel edges.
+	depSeen := make(map[[2]int]bool, n*8)
+	addDep := func(prev, c int) {
+		if prev < 0 || depSeen[[2]int{prev, c}] {
+			return
+		}
+		depSeen[[2]int{prev, c}] = true
+		deps[prev] = append(deps[prev], c)
+	}
 
-	for s := 0; s < n; s++ {
-		for d := 0; d < n; d++ {
+	// State key: switch*2 + phase, valid for the current destination epoch.
+	// walkStamp flags states of the in-progress walk so a routing loop is
+	// still detected (a visited-state break must mean "suffix reaches d").
+	visited := make([]int32, 2*n)
+	walkStamp := make([]int32, 2*n)
+	var walkSeq int32
+	var chain []int32
+
+	for d := 0; d < n; d++ {
+		epoch := int32(d + 1)
+		for s := 0; s < n; s++ {
 			if s == d {
 				continue
 			}
+			walkSeq++
+			chain = chain[:0]
 			prevChan := -1
 			cur := sim.SwitchID(s)
 			phase := 0
-			steps := 0
 			for cur != sim.SwitchID(d) {
 				nxt := t.Next[cur][d]
 				if nxt == sim.NoSwitch || nxt == cur {
 					return fmt.Errorf("route: no progress from %d toward %d", cur, d)
 				}
 				class := 0
+				wl := phased && t.IsWireless(cur, nxt)
 				if phased {
-					if t.IsWireless(cur, nxt) {
+					if wl {
 						class = 2
 					} else {
 						class = phase
 					}
 				}
 				c := chanID(cur, nxt, class)
-				used[c] = true
-				if prevChan >= 0 {
-					key := [2]int{prevChan, c}
-					if !seen[key] {
-						seen[key] = true
-						deps[prevChan] = append(deps[prevChan], c)
-					}
+				addDep(prevChan, c)
+				st := int(cur)*2 + phase
+				if visited[st] == epoch {
+					break // suffix already walked; only the entry dependency was new
 				}
-				if phased && t.IsWireless(cur, nxt) {
+				if walkStamp[st] == walkSeq {
+					return fmt.Errorf("route: routing loop from %d to %d", s, d)
+				}
+				walkStamp[st] = walkSeq
+				chain = append(chain, int32(st))
+				used[c] = true
+				if wl {
 					phase = 1
 				}
 				prevChan = c
 				cur = nxt
-				steps++
-				if steps > 4*n {
-					return fmt.Errorf("route: routing loop from %d to %d", s, d)
-				}
+			}
+			// The walk reached d (or a state that does): its states' suffixes
+			// are now fully recorded.
+			for _, st := range chain {
+				visited[st] = epoch
 			}
 		}
 	}

@@ -3,6 +3,7 @@ package route
 import (
 	"fmt"
 
+	"wimc/internal/exp/pool"
 	"wimc/internal/sim"
 	"wimc/internal/topo"
 )
@@ -163,9 +164,12 @@ func (t *Tables) buildSubstrateHier(g *topo.Graph, adj [][]arc) error {
 		return intraNext(s, gwy.local), nil
 	}
 
+	// The next-hop function is memoryless and all chip/gateway/anchor state
+	// above is read-only by now, so each source row of the table fills
+	// independently on the worker pool.
 	t.Next = newTable(n, sim.NoSwitch)
 	t.Dist = newDist(n)
-	for s := 0; s < n; s++ {
+	if _, err := pool.ForEach(t.workers, n, func(s int) error {
 		for d := 0; d < n; d++ {
 			nh, err := next(sim.SwitchID(s), sim.SwitchID(d))
 			if err != nil {
@@ -173,11 +177,18 @@ func (t *Tables) buildSubstrateHier(g *topo.Graph, adj [][]arc) error {
 			}
 			t.Next[s][d] = nh
 		}
+		return nil
+	}); err != nil {
+		return err
 	}
 	return t.fillHierDist(n, adj)
 }
 
-// fillHierDist computes distances by walking the committed routes.
+// fillHierDist computes distances by walking the committed routes. The
+// routes are memoryless — Dist[s][d] = w(s, Next[s][d]) + Dist[Next[s][d]][d]
+// — so each destination's column is filled by one memoized chain walk
+// (O(n) per destination instead of O(n × path length)), and destinations
+// fan out across the worker pool.
 func (t *Tables) fillHierDist(n int, adj [][]arc) error {
 	weight := make(map[[2]sim.SwitchID]int32, 4*n)
 	for s := range adj {
@@ -185,27 +196,33 @@ func (t *Tables) fillHierDist(n int, adj [][]arc) error {
 			weight[[2]sim.SwitchID{sim.SwitchID(s), a.to}] = a.weight
 		}
 	}
-	for s := 0; s < n; s++ {
-		for d := 0; d < n; d++ {
-			if s == d {
-				continue
-			}
-			var dist int32
+	_, err := pool.ForEach(t.workers, n, func(d int) error {
+		done := make([]bool, n)
+		done[d] = true
+		var chain []sim.SwitchID
+		for s := 0; s < n; s++ {
 			cur := sim.SwitchID(s)
-			for steps := 0; cur != sim.SwitchID(d); steps++ {
-				if steps > 4*n {
+			chain = chain[:0]
+			for !done[cur] {
+				if len(chain) > n {
 					return fmt.Errorf("route: substrate route loop %d->%d", s, d)
 				}
-				nh := t.Next[cur][d]
-				w, ok := weight[[2]sim.SwitchID{cur, nh}]
-				if !ok {
-					return fmt.Errorf("route: substrate route %d->%d uses missing arc %d->%d", s, d, cur, nh)
-				}
-				dist += w
-				cur = nh
+				chain = append(chain, cur)
+				cur = t.Next[cur][d]
 			}
-			t.Dist[s][d] = dist
+			// Unwind: every suffix distance is now known.
+			for i := len(chain) - 1; i >= 0; i-- {
+				u := chain[i]
+				nh := t.Next[u][d]
+				w, ok := weight[[2]sim.SwitchID{u, nh}]
+				if !ok {
+					return fmt.Errorf("route: substrate route %d->%d uses missing arc %d->%d", s, d, u, nh)
+				}
+				t.Dist[u][d] = w + t.Dist[nh][d]
+				done[u] = true
+			}
 		}
-	}
-	return nil
+		return nil
+	})
+	return err
 }

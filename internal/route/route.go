@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"wimc/internal/config"
+	"wimc/internal/exp/pool"
 	"wimc/internal/sim"
 	"wimc/internal/topo"
 )
@@ -40,6 +41,8 @@ type Tables struct {
 	Root sim.SwitchID
 	// Wireless[u][v] reports whether the hop u->v is a wireless hop.
 	wireless map[[2]sim.SwitchID]bool
+	// workers bounds the pool used while the tables are built.
+	workers int
 }
 
 // arc is one directed adjacency used by the router computation.
@@ -58,8 +61,17 @@ const (
 	rankWireless
 )
 
-// Build computes forwarding tables for the graph using its configuration.
+// Build computes forwarding tables for the graph using its configuration,
+// fanning per-destination table fills across runtime.GOMAXPROCS(0) workers
+// (tables are byte-identical to a sequential build: every destination's
+// column is computed independently and written to disjoint entries).
 func Build(g *topo.Graph) (*Tables, error) {
+	return BuildWorkers(g, 0)
+}
+
+// BuildWorkers is Build with an explicit worker-pool bound: <= 0 means
+// runtime.GOMAXPROCS(0), 1 forces a fully sequential build.
+func BuildWorkers(g *topo.Graph, workers int) (*Tables, error) {
 	adj, wmap, err := adjacency(g)
 	if err != nil {
 		return nil, err
@@ -75,6 +87,7 @@ func Build(g *topo.Graph) (*Tables, error) {
 		Mode:     g.Cfg.Routing,
 		Root:     sim.NoSwitch,
 		wireless: wmap,
+		workers:  workers,
 	}
 	switch g.Cfg.Routing {
 	case config.RouteShortest:
@@ -184,12 +197,15 @@ func adjacency(g *topo.Graph) ([][]arc, map[[2]sim.SwitchID]bool, error) {
 
 // buildShortest fills the tables with per-source shortest paths: for every
 // destination d a reverse Dijkstra yields dist(·, d); the next hop from s is
-// the first neighbor (in tie-break order) on a shortest path.
+// the first neighbor (in tie-break order) on a shortest path. Destinations
+// are independent — each fills only its own column of Next/Dist — so they
+// fan out across the worker pool; the tables are identical for any worker
+// count.
 func (t *Tables) buildShortest(g *topo.Graph, adj [][]arc, transit []bool) error {
 	n := g.SwitchCount()
 	t.Next = newTable(n, sim.NoSwitch)
 	t.Dist = newDist(n)
-	for d := 0; d < n; d++ {
+	_, err := pool.ForEach(t.workers, n, func(d int) error {
 		dist := dijkstra(adj, sim.SwitchID(d), transit)
 		for s := 0; s < n; s++ {
 			t.Dist[s][d] = dist[s]
@@ -210,8 +226,9 @@ func (t *Tables) buildShortest(g *topo.Graph, adj [][]arc, transit []bool) error
 				return fmt.Errorf("route: no next hop from %d to %d", s, d)
 			}
 		}
-	}
-	return nil
+		return nil
+	})
+	return err
 }
 
 // buildTree fills the tables with single-tree routing: a shortest-path tree

@@ -332,3 +332,71 @@ func abs(x int) int {
 	}
 	return x
 }
+
+// TestBuildWorkerCountInvariance: routing tables are byte-identical across
+// worker counts — per-destination (and, for the substrate hierarchy,
+// per-source) fills write disjoint table entries, so parallelism must not
+// leak into the result. Covers a large generalized preset in every
+// architecture and both routing modes.
+func TestBuildWorkerCountInvariance(t *testing.T) {
+	for _, arch := range []config.Architecture{
+		config.ArchSubstrate, config.ArchInterposer, config.ArchWireless, config.ArchHybrid,
+	} {
+		for _, mode := range []config.RoutingMode{config.RouteShortest, config.RouteTree} {
+			cfg := config.MustXCYM(16, 16, arch)
+			cfg.Routing = mode
+			g, err := topo.Build(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ref, err := BuildWorkers(g, 1)
+			if err != nil {
+				t.Fatalf("%s/%s: sequential build: %v", arch, mode, err)
+			}
+			for _, workers := range []int{0, 2, 7} {
+				tb, err := BuildWorkers(g, workers)
+				if err != nil {
+					t.Fatalf("%s/%s: %d-worker build: %v", arch, mode, workers, err)
+				}
+				if tb.Root != ref.Root {
+					t.Fatalf("%s/%s: root differs across worker counts", arch, mode)
+				}
+				for s := range ref.Next {
+					for d := range ref.Next[s] {
+						if tb.Next[s][d] != ref.Next[s][d] || tb.Dist[s][d] != ref.Dist[s][d] {
+							t.Fatalf("%s/%s: table entry (%d,%d) differs with %d workers",
+								arch, mode, s, d, workers)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLargePresetsDeadlockFree extends the CDG verification to the
+// generalized 16- and 32-chip presets (the memoized walk must agree with
+// the construction-time deadlock arguments at scale).
+func TestLargePresetsDeadlockFree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large route builds")
+	}
+	for _, chips := range []int{16, 32} {
+		for _, arch := range []config.Architecture{
+			config.ArchSubstrate, config.ArchInterposer, config.ArchWireless,
+		} {
+			cfg := config.MustXCYM(chips, config.DefaultStacks(chips), arch)
+			g, err := topo.Build(cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			tb, err := Build(g)
+			if err != nil {
+				t.Fatalf("%dC/%s: %v", chips, arch, err)
+			}
+			if err := CheckDeadlockFree(g, tb); err != nil {
+				t.Fatalf("%dC/%s: %v", chips, arch, err)
+			}
+		}
+	}
+}

@@ -8,12 +8,21 @@ import (
 	"wimc/internal/sim"
 )
 
-// Build constructs the topology graph for the configured architecture.
+// Build constructs the topology graph for the configured architecture,
+// sharding construction across runtime.GOMAXPROCS(0) workers (see shard.go;
+// the result is byte-identical to a sequential build).
 func Build(cfg config.Config) (*Graph, error) {
+	return BuildWorkers(cfg, 0)
+}
+
+// BuildWorkers is Build with an explicit worker-pool bound: <= 0 means
+// runtime.GOMAXPROCS(0), 1 forces a fully sequential build. The built graph
+// is byte-identical for every worker count.
+func BuildWorkers(cfg config.Config, workers int) (*Graph, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	b := &builder{cfg: cfg, g: &Graph{Cfg: cfg}}
+	b := &builder{cfg: cfg, g: &Graph{Cfg: cfg}, workers: workers}
 	b.coreSwitches()
 	b.meshEdges()
 	switch cfg.Arch {
@@ -40,8 +49,9 @@ func Build(cfg config.Config) (*Graph, error) {
 }
 
 type builder struct {
-	cfg config.Config
-	g   *Graph
+	cfg     config.Config
+	g       *Graph
+	workers int
 }
 
 // globalCols and globalRows give the full core-mesh extent across chips.
@@ -58,42 +68,56 @@ func (b *builder) chipOf(gx, gy int) int {
 	return (gy/b.cfg.CoresY)*b.cfg.ChipsX + gx/b.cfg.CoresX
 }
 
+// coreSwitches creates the mesh switch of every core, sharded by global-row
+// band. A node's ID is its index, so shards write disjoint ranges of the
+// preallocated slice directly.
 func (b *builder) coreSwitches() {
 	cols, rows := b.globalCols(), b.globalRows()
-	b.g.Nodes = make([]Node, 0, cols*rows+b.cfg.MemStacks)
-	for gy := 0; gy < rows; gy++ {
-		for gx := 0; gx < cols; gx++ {
-			b.g.Nodes = append(b.g.Nodes, Node{
-				ID:    b.coreSwitchID(gx, gy),
-				Kind:  KindCore,
-				Chip:  b.chipOf(gx, gy),
-				Stack: -1,
-				GX:    gx,
-				GY:    gy,
-				WI:    -1,
-			})
+	b.g.Nodes = make([]Node, cols*rows, cols*rows+b.cfg.MemStacks)
+	rb := bands(rows, b.shards(rows))
+	b.parallel(len(rb), func(k int) {
+		for gy := rb[k][0]; gy < rb[k][1]; gy++ {
+			for gx := 0; gx < cols; gx++ {
+				b.g.Nodes[gy*cols+gx] = Node{
+					ID:    b.coreSwitchID(gx, gy),
+					Kind:  KindCore,
+					Chip:  b.chipOf(gx, gy),
+					Stack: -1,
+					GX:    gx,
+					GY:    gy,
+					WI:    -1,
+				}
+			}
 		}
-	}
+	})
 }
 
 // meshEdges wires the intra-chip mesh: single-cycle links between adjacent
 // switches of the same chip (paper: "all intra-chip wired links are
-// considered to be single-cycle links").
+// considered to be single-cycle links"). Rows shard into bands whose edge
+// slices concatenate back into exact row-major order.
 func (b *builder) meshEdges() {
 	cfg := b.cfg
 	cols, rows := b.globalCols(), b.globalRows()
-	for gy := 0; gy < rows; gy++ {
-		for gx := 0; gx < cols; gx++ {
-			if gx+1 < cols && b.chipOf(gx, gy) == b.chipOf(gx+1, gy) {
-				b.addEdge(b.coreSwitchID(gx, gy), b.coreSwitchID(gx+1, gy),
-					EdgeMesh, cfg.MeshLatency, sim.RateOne, cfg.MeshPJPerBit)
-			}
-			if gy+1 < rows && b.chipOf(gx, gy) == b.chipOf(gx, gy+1) {
-				b.addEdge(b.coreSwitchID(gx, gy), b.coreSwitchID(gx, gy+1),
-					EdgeMesh, cfg.MeshLatency, sim.RateOne, cfg.MeshPJPerBit)
+	rb := bands(rows, b.shards(rows))
+	parts := make([][]Edge, len(rb))
+	b.parallel(len(rb), func(k int) {
+		es := make([]Edge, 0, 2*cols*(rb[k][1]-rb[k][0]))
+		for gy := rb[k][0]; gy < rb[k][1]; gy++ {
+			for gx := 0; gx < cols; gx++ {
+				if gx+1 < cols && b.chipOf(gx, gy) == b.chipOf(gx+1, gy) {
+					es = append(es, b.edge(b.coreSwitchID(gx, gy), b.coreSwitchID(gx+1, gy),
+						EdgeMesh, cfg.MeshLatency, sim.RateOne, cfg.MeshPJPerBit))
+				}
+				if gy+1 < rows && b.chipOf(gx, gy) == b.chipOf(gx, gy+1) {
+					es = append(es, b.edge(b.coreSwitchID(gx, gy), b.coreSwitchID(gx, gy+1),
+						EdgeMesh, cfg.MeshLatency, sim.RateOne, cfg.MeshPJPerBit))
+				}
 			}
 		}
-	}
+		parts[k] = es
+	})
+	b.stitch(parts)
 }
 
 // serialEdges wires the substrate architecture: a single high-speed serial
@@ -127,7 +151,9 @@ func (b *builder) serialEdges() {
 // across chip boundaries by joining facing boundary switch pairs with
 // µbump-limited interposer links (paper §IV.A.2, after Jerger et al. [2]).
 // InterposerBoundaryFr < 1 thins each boundary to an evenly spaced subset,
-// modeling a tighter µbump budget.
+// modeling a tighter µbump budget. Chip rows shard independently; the
+// horizontal-boundary section precedes the vertical one, as in a
+// sequential build.
 func (b *builder) interposerEdges() {
 	cfg := b.cfg
 	rate := sim.RateFromGbps(cfg.InterposerGbps, cfg.FlitBits, cfg.ClockGHz)
@@ -146,8 +172,10 @@ func (b *builder) interposerEdges() {
 		}
 		return sel
 	}
-	// Horizontal boundaries.
-	for cy := 0; cy < cfg.ChipsY; cy++ {
+	// Horizontal boundaries, sharded by chip row.
+	horiz := make([][]Edge, cfg.ChipsY)
+	b.parallel(cfg.ChipsY, func(cy int) {
+		var es []Edge
 		for cx := 0; cx+1 < cfg.ChipsX; cx++ {
 			sel := take(cfg.CoresY)
 			for ly := 0; ly < cfg.CoresY; ly++ {
@@ -156,25 +184,33 @@ func (b *builder) interposerEdges() {
 				}
 				gy := cy*cfg.CoresY + ly
 				gx := cx*cfg.CoresX + cfg.CoresX - 1
-				b.addEdge(b.coreSwitchID(gx, gy), b.coreSwitchID(gx+1, gy),
-					EdgeInterposer, cfg.InterposerLatency, rate, cfg.InterposerPJPerBit)
+				es = append(es, b.edge(b.coreSwitchID(gx, gy), b.coreSwitchID(gx+1, gy),
+					EdgeInterposer, cfg.InterposerLatency, rate, cfg.InterposerPJPerBit))
 			}
 		}
-	}
-	// Vertical boundaries.
-	for cy := 0; cy+1 < cfg.ChipsY; cy++ {
-		for cx := 0; cx < cfg.ChipsX; cx++ {
-			sel := take(cfg.CoresX)
-			for lx := 0; lx < cfg.CoresX; lx++ {
-				if !sel[lx] {
-					continue
+		horiz[cy] = es
+	})
+	b.stitch(horiz)
+	// Vertical boundaries, sharded by upper chip row.
+	if cfg.ChipsY > 1 {
+		vert := make([][]Edge, cfg.ChipsY-1)
+		b.parallel(cfg.ChipsY-1, func(cy int) {
+			var es []Edge
+			for cx := 0; cx < cfg.ChipsX; cx++ {
+				sel := take(cfg.CoresX)
+				for lx := 0; lx < cfg.CoresX; lx++ {
+					if !sel[lx] {
+						continue
+					}
+					gx := cx*cfg.CoresX + lx
+					gy := cy*cfg.CoresY + cfg.CoresY - 1
+					es = append(es, b.edge(b.coreSwitchID(gx, gy), b.coreSwitchID(gx, gy+1),
+						EdgeInterposer, cfg.InterposerLatency, rate, cfg.InterposerPJPerBit))
 				}
-				gx := cx*cfg.CoresX + lx
-				gy := cy*cfg.CoresY + cfg.CoresY - 1
-				b.addEdge(b.coreSwitchID(gx, gy), b.coreSwitchID(gx, gy+1),
-					EdgeInterposer, cfg.InterposerLatency, rate, cfg.InterposerPJPerBit)
 			}
-		}
+			vert[cy] = es
+		})
+		b.stitch(vert)
 	}
 }
 
@@ -286,11 +322,16 @@ func (b *builder) coreEndpoints() {
 	}
 }
 
-func (b *builder) addEdge(a, bb sim.SwitchID, k EdgeKind, lat int, rate sim.Rate, pj float64) {
+// edge constructs one edge record (shard-local; appended via stitch).
+func (b *builder) edge(a, bb sim.SwitchID, k EdgeKind, lat int, rate sim.Rate, pj float64) Edge {
 	if lat < 1 {
 		lat = 1
 	}
-	b.g.Edges = append(b.g.Edges, Edge{A: a, B: bb, Kind: k, Latency: lat, Rate: rate, PJPerBit: pj})
+	return Edge{A: a, B: bb, Kind: k, Latency: lat, Rate: rate, PJPerBit: pj}
+}
+
+func (b *builder) addEdge(a, bb sim.SwitchID, k EdgeKind, lat int, rate sim.Rate, pj float64) {
+	b.g.Edges = append(b.g.Edges, b.edge(a, bb, k, lat, rate, pj))
 }
 
 // check validates structural invariants of the built graph.

@@ -1,0 +1,28 @@
+// Package topo builds the network topology of a multichip package: per-chip
+// mesh NoCs, chip-to-chip wiring for the substrate and interposer
+// architectures, in-package memory stacks, and the placement of wireless
+// interfaces (WIs) at minimum-average-distance cluster centers for the
+// wireless architecture.
+//
+// The package produces a pure description (Graph); the engine instantiates
+// runtime switches and links from it and the route package derives
+// forwarding tables from it.
+//
+// # Sharded construction
+//
+// Construction scales to the generalized large presets (16/32/64-chip
+// grids, 256–1024 cores) by sharding the heavy stages across the shared
+// internal/exp/pool worker pool: core switches and mesh edges by
+// contiguous global-row band, interposer boundary wiring by chip row, and
+// the per-cluster minimum-average-distance WI searches by chip. Shards
+// stitch back in stable index order — node shards write disjoint ranges of
+// the preallocated node slice, edge bands concatenate in row order, WI
+// registration replays sequentially in chip order — so the built Graph is
+// byte-identical across worker counts and repeated builds
+// (TestBuildWorkerCountInvariance). Every stage is a pure function of the
+// Config; a future randomized stage must draw from ShardRand(cfg.Seed,
+// shard) to keep that property.
+//
+// Build shards across GOMAXPROCS workers automatically; BuildWorkers pins
+// the worker count (1 = fully sequential).
+package topo

@@ -1,12 +1,3 @@
-// Package topo builds the network topology of a multichip package: per-chip
-// mesh NoCs, chip-to-chip wiring for the substrate and interposer
-// architectures, in-package memory stacks, and the placement of wireless
-// interfaces (WIs) at minimum-average-distance cluster centers for the
-// wireless architecture.
-//
-// The package produces a pure description (Graph); the engine instantiates
-// runtime switches and links from it and the route package derives
-// forwarding tables from it.
 package topo
 
 import (

@@ -10,29 +10,37 @@ import (
 // each chip is partitioned into clusters of CoresPerWI switches and one WI
 // is placed at the minimum-average-distance (MAD) switch of each cluster
 // (paper §III.A, after Yuan et al. [15]); every memory stack's logic die
-// also carries one WI. The WI numbering (MAC turn sequence) is chip-major
-// then stack order.
+// also carries one WI. The MAD searches shard by chip; registration — which
+// assigns the WI numbering (MAC turn sequence), chip-major then stack
+// order — replays sequentially in chip order.
 func (b *builder) placeWIs() error {
 	cfg := b.cfg
 	tw, th, err := clusterDims(cfg.CoresX, cfg.CoresY, cfg.CoresPerWI)
 	if err != nil {
 		return err
 	}
-	for chip := 0; chip < cfg.Chips(); chip++ {
+	chips := cfg.Chips()
+	centers := make([][]sim.SwitchID, chips)
+	b.parallel(chips, func(chip int) {
 		cx0 := (chip % cfg.ChipsX) * cfg.CoresX
 		cy0 := (chip / cfg.ChipsX) * cfg.CoresY
+		members := make([]sim.SwitchID, 0, tw*th)
 		for ty := 0; ty < cfg.CoresY/th; ty++ {
 			for tx := 0; tx < cfg.CoresX/tw; tx++ {
-				var members []sim.SwitchID
+				members = members[:0]
 				for ly := 0; ly < th; ly++ {
 					for lx := 0; lx < tw; lx++ {
 						members = append(members,
 							b.coreSwitchID(cx0+tx*tw+lx, cy0+ty*th+ly))
 					}
 				}
-				center := b.madCenter(members)
-				b.registerWI(center)
+				centers[chip] = append(centers[chip], b.madCenter(members))
 			}
+		}
+	})
+	for _, cs := range centers {
+		for _, c := range cs {
+			b.registerWI(c)
 		}
 	}
 	for _, n := range b.g.Nodes {

@@ -1,0 +1,107 @@
+package topo
+
+import (
+	"fmt"
+	"runtime"
+	"slices"
+
+	"wimc/internal/exp/pool"
+	"wimc/internal/sim"
+)
+
+// Sharded construction
+//
+// Large presets (16/32/64-chip grids) make topology construction worth
+// parallelizing: core-switch creation and mesh wiring shard by contiguous
+// global-row bands, interposer wiring by chip-row bands, and wireless
+// interface placement (the O(clusterSize²) MAD search) by chip. Shards run
+// on the shared internal/exp/pool worker pool and are stitched back in
+// stable index order:
+//
+//   - Node shards write directly into disjoint index ranges of the
+//     preallocated Nodes slice (the node ID is its slice index).
+//   - Edge shards build band-local slices that are concatenated in band
+//     order; because bands are contiguous row ranges, the concatenation
+//     reproduces the exact row-major edge order of a sequential build no
+//     matter how many bands there are.
+//   - WI shards compute per-chip cluster centers; registration (which
+//     assigns the global WI/MAC turn numbering) then replays sequentially
+//     in chip order.
+//
+// Every stage is a pure function of the Config, so the built Graph is
+// byte-identical across worker counts and repeated runs — asserted by
+// TestBuildWorkerCountInvariance. A future randomized construction stage
+// must draw from a per-shard stream derived as ShardRand(cfg.Seed, shard)
+// so that property survives.
+
+// maxShards bounds the shard count of one construction stage; work units
+// per shard stay coarse enough that stitching overhead is negligible.
+const maxShards = 64
+
+// parallel runs fn(0..n-1) across the builder's worker pool, in place when
+// the builder is sequential.
+func (b *builder) parallel(n int, fn func(i int)) {
+	_, _ = pool.ForEach(b.workers, n, func(i int) error { fn(i); return nil })
+}
+
+// shards returns how many shards to split n work units into.
+func (b *builder) shards(n int) int {
+	w := b.workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > maxShards {
+		w = maxShards
+	}
+	if w > n {
+		w = n
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// bands splits [0, n) into k contiguous half-open ranges covering every
+// index exactly once; earlier bands take the remainder.
+func bands(n, k int) [][2]int {
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	out := make([][2]int, 0, k)
+	start := 0
+	for i := 0; i < k; i++ {
+		size := n / k
+		if i < n%k {
+			size++
+		}
+		out = append(out, [2]int{start, start + size})
+		start += size
+	}
+	return out
+}
+
+// ShardRand returns the deterministic random stream of one construction
+// shard: derived from the run seed and the shard index alone, never from
+// the worker count or scheduling, so any randomized placement built on it
+// stays byte-identical across worker counts. Current construction stages
+// are fully deterministic and draw nothing from it; it pins the derivation
+// protocol for stages that will.
+func ShardRand(seed uint64, shard int) *sim.Rand {
+	return sim.NewRand(seed).Derive(fmt.Sprintf("topo-shard-%d", shard))
+}
+
+// stitch concatenates per-shard edge slices in shard order onto the graph.
+func (b *builder) stitch(parts [][]Edge) {
+	total := 0
+	for _, p := range parts {
+		total += len(p)
+	}
+	b.g.Edges = slices.Grow(b.g.Edges, total)
+	for _, p := range parts {
+		b.g.Edges = append(b.g.Edges, p...)
+	}
+}

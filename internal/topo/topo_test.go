@@ -1,6 +1,8 @@
 package topo
 
 import (
+	"bytes"
+	"encoding/json"
 	"testing"
 
 	"wimc/internal/config"
@@ -9,9 +11,14 @@ import (
 
 func build(t *testing.T, chips int, arch config.Architecture) *Graph {
 	t.Helper()
-	g, err := Build(config.MustXCYM(chips, 4, arch))
+	return buildCfg(t, config.MustXCYM(chips, 4, arch))
+}
+
+func buildCfg(t *testing.T, cfg config.Config) *Graph {
+	t.Helper()
+	g, err := Build(cfg)
 	if err != nil {
-		t.Fatalf("Build(%d, %s): %v", chips, arch, err)
+		t.Fatalf("Build(%s): %v", cfg.Name, err)
 	}
 	return g
 }
@@ -378,6 +385,112 @@ func TestBuildRejectsInvalidConfig(t *testing.T) {
 	cfg.VCs = 0
 	if _, err := Build(cfg); err == nil {
 		t.Fatal("invalid config accepted")
+	}
+}
+
+// TestBuildWorkerCountInvariance is the sharded-construction determinism
+// proof: building the same configuration with 1, 2, 3, 8 and GOMAXPROCS
+// workers must produce byte-identical graphs (nodes, edges, endpoints, WI
+// numbering — everything), for paper-sized and large generalized presets
+// across all architectures.
+func TestBuildWorkerCountInvariance(t *testing.T) {
+	presets := []struct{ chips, stacks int }{
+		{4, 4}, {8, 4}, {16, 16}, {32, 32},
+	}
+	archs := []config.Architecture{
+		config.ArchSubstrate, config.ArchInterposer, config.ArchWireless, config.ArchHybrid,
+	}
+	for _, p := range presets {
+		for _, arch := range archs {
+			cfg := config.MustXCYM(p.chips, p.stacks, arch)
+			ref, err := BuildWorkers(cfg, 1)
+			if err != nil {
+				t.Fatalf("BuildWorkers(%dC, %s, 1): %v", p.chips, arch, err)
+			}
+			refJSON, err := json.Marshal(ref)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, workers := range []int{0, 2, 3, 8} {
+				g, err := BuildWorkers(cfg, workers)
+				if err != nil {
+					t.Fatalf("BuildWorkers(%dC, %s, %d): %v", p.chips, arch, workers, err)
+				}
+				got, err := json.Marshal(g)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(refJSON, got) {
+					t.Fatalf("%dC%dM/%s: %d-worker build differs from sequential build",
+						p.chips, p.stacks, arch, workers)
+				}
+			}
+		}
+	}
+}
+
+// TestLargePresetInventory pins the derived inventory of the generalized
+// presets: cores, stacks, WI count and the absence of cross-chip wires in
+// the wireless system hold at 16/32/64 chips exactly as at paper scale.
+func TestLargePresetInventory(t *testing.T) {
+	for _, chips := range []int{16, 32, 64} {
+		stacks := config.DefaultStacks(chips)
+		g := buildCfg(t, config.MustXCYM(chips, stacks, config.ArchWireless))
+		if got, want := len(g.Cores), chips*16; got != want {
+			t.Errorf("%dC: %d cores, want %d", chips, got, want)
+		}
+		if got := len(g.Stacks); got != stacks {
+			t.Errorf("%dC: %d stacks, want %d", chips, got, stacks)
+		}
+		// One WI per chip plus one per stack, chips first (MAC order).
+		if got, want := len(g.WISwitches), chips+stacks; got != want {
+			t.Errorf("%dC: %d WIs, want %d", chips, got, want)
+		}
+		for i, s := range g.WISwitches {
+			if isMem, wantMem := g.Nodes[s].Kind == KindMemLogic, i >= chips; isMem != wantMem {
+				t.Fatalf("%dC: WI %d memory=%v, want %v", chips, i, isMem, wantMem)
+			}
+		}
+		if n := countEdges(g, EdgeSerial) + countEdges(g, EdgeInterposer) + countEdges(g, EdgeWideIO); n != 0 {
+			t.Errorf("%dC wireless has %d inter-chip wired edges", chips, n)
+		}
+		// Wired variants keep per-channel wide-I/O attachment.
+		gi := buildCfg(t, config.MustXCYM(chips, stacks, config.ArchInterposer))
+		if got, want := countEdges(gi, EdgeWideIO), stacks*4; got != want {
+			t.Errorf("%dC interposer wide-IO edges = %d, want %d", chips, got, want)
+		}
+	}
+}
+
+func TestShardRandStableAndPerShard(t *testing.T) {
+	a := ShardRand(7, 0)
+	b := ShardRand(7, 0)
+	if a.Seed() != b.Seed() || a.Intn(1<<30) != b.Intn(1<<30) {
+		t.Fatal("ShardRand not stable for equal (seed, shard)")
+	}
+	if ShardRand(7, 0).Seed() == ShardRand(7, 1).Seed() {
+		t.Fatal("distinct shards share a stream")
+	}
+	if ShardRand(7, 0).Seed() == ShardRand(8, 0).Seed() {
+		t.Fatal("distinct base seeds share a stream")
+	}
+}
+
+func TestBands(t *testing.T) {
+	for _, tc := range []struct{ n, k int }{{10, 3}, {1, 4}, {7, 7}, {64, 5}} {
+		bs := bands(tc.n, tc.k)
+		covered := 0
+		prev := 0
+		for _, b := range bs {
+			if b[0] != prev || b[1] < b[0] {
+				t.Fatalf("bands(%d,%d) = %v: not contiguous", tc.n, tc.k, bs)
+			}
+			covered += b[1] - b[0]
+			prev = b[1]
+		}
+		if covered != tc.n || prev != tc.n {
+			t.Fatalf("bands(%d,%d) = %v: covers %d", tc.n, tc.k, bs, covered)
+		}
 	}
 }
 

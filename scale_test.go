@@ -1,0 +1,120 @@
+package wimc_test
+
+import (
+	"encoding/json"
+	"testing"
+
+	"wimc"
+)
+
+// largeCfg returns a shortened-window large preset.
+func largeCfg(chips int, arch wimc.Architecture) wimc.Config {
+	cfg := wimc.MustXCYM(chips, wimc.DefaultStacks(chips), arch)
+	cfg.WarmupCycles = 100
+	cfg.MeasureCycles = 900
+	return cfg
+}
+
+// TestLargePresetsRun: the generalized 16/32/64-chip presets validate,
+// build (sharded topology constructor, parallel routing tables, deadlock
+// verification) and carry traffic under the active-set scheduler in every
+// architecture.
+func TestLargePresetsRun(t *testing.T) {
+	chipCounts := []int{16, 32, 64}
+	if testing.Short() {
+		chipCounts = []int{16}
+	}
+	for _, chips := range chipCounts {
+		for _, arch := range []wimc.Architecture{
+			wimc.ArchSubstrate, wimc.ArchInterposer, wimc.ArchWireless,
+		} {
+			cfg := largeCfg(chips, arch)
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("%dC/%s: %v", chips, arch, err)
+			}
+			res, err := wimc.Run(cfg, wimc.TrafficSpec{
+				Kind: wimc.TrafficUniform, Rate: 0.002, MemFraction: 0.2,
+			})
+			if err != nil {
+				t.Fatalf("%dC/%s: %v", chips, arch, err)
+			}
+			if res.DeliveredPackets == 0 {
+				t.Fatalf("%dC/%s: no traffic delivered", chips, arch)
+			}
+			if res.Cores != chips*16 {
+				t.Fatalf("%dC/%s: %d cores, want %d", chips, arch, res.Cores, chips*16)
+			}
+		}
+	}
+}
+
+// TestLargePresetResultDeterminism: repeated runs of a 32-chip system — the
+// whole pipeline from sharded topology build to active-set simulation —
+// produce byte-identical Result JSON.
+func TestLargePresetResultDeterminism(t *testing.T) {
+	cfg := largeCfg(32, wimc.ArchWireless)
+	tr := wimc.TrafficSpec{Kind: wimc.TrafficUniform, Rate: 0.002, MemFraction: 0.2}
+	var ref []byte
+	for i := 0; i < 3; i++ {
+		res, err := wimc.Run(cfg, tr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := json.Marshal(res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if ref == nil {
+			ref = b
+		} else if string(ref) != string(b) {
+			t.Fatalf("run %d diverged:\n%s\n%s", i, ref, b)
+		}
+	}
+}
+
+// TestScaleSweepPublicAPI drives the public sweep across two sizes and
+// checks ordering and plausibility.
+func TestScaleSweepPublicAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation runs")
+	}
+	pts, err := wimc.ScaleSweep([]int{4, 16},
+		[]wimc.Architecture{wimc.ArchInterposer, wimc.ArchWireless},
+		wimc.TrafficSpec{Kind: wimc.TrafficUniform, MemFraction: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 4 {
+		t.Fatalf("%d points, want 4", len(pts))
+	}
+	want := []struct {
+		chips int
+		arch  wimc.Architecture
+	}{
+		{4, wimc.ArchInterposer}, {4, wimc.ArchWireless},
+		{16, wimc.ArchInterposer}, {16, wimc.ArchWireless},
+	}
+	for i, p := range pts {
+		if p.Chips != want[i].chips || p.Arch != want[i].arch {
+			t.Fatalf("point %d = %dC/%s, want %dC/%s", i, p.Chips, p.Arch, want[i].chips, want[i].arch)
+		}
+		if p.Result == nil || p.Result.BandwidthPerCoreGbps <= 0 {
+			t.Fatalf("point %d has no saturation bandwidth", i)
+		}
+	}
+	if pts[2].Stacks != 16 {
+		t.Fatalf("16C stacks = %d, want 16", pts[2].Stacks)
+	}
+}
+
+func TestScaleSweepRejectsEmpty(t *testing.T) {
+	if _, err := wimc.ScaleSweep(nil, []wimc.Architecture{wimc.ArchWireless}, wimc.TrafficSpec{}); err == nil {
+		t.Fatal("empty sizes accepted")
+	}
+	if _, err := wimc.ScaleSweep([]int{4}, nil, wimc.TrafficSpec{}); err == nil {
+		t.Fatal("empty archs accepted")
+	}
+	if _, err := wimc.ScaleSweep([]int{-1}, []wimc.Architecture{wimc.ArchWireless}, wimc.TrafficSpec{}); err == nil {
+		t.Fatal("invalid size accepted")
+	}
+}

@@ -3,6 +3,7 @@ package wimc
 import (
 	"fmt"
 
+	"wimc/internal/config"
 	"wimc/internal/engine"
 	"wimc/internal/exp"
 )
@@ -115,3 +116,51 @@ func CompareAtSaturation(cfgs []Config, traffic TrafficSpec) ([]*Result, error) 
 	}
 	return rs, nil
 }
+
+// ScalePoint is one (system size, architecture) sample of a scale sweep.
+type ScalePoint struct {
+	Chips  int          `json:"chips"`
+	Stacks int          `json:"stacks"`
+	Arch   Architecture `json:"arch"`
+	Result *Result      `json:"result"`
+}
+
+// ScaleSweep runs every (chips, arch) combination at saturation under the
+// given workload and returns the samples in sweep order (sizes outer,
+// architectures inner) — throughput and energy versus system size, the
+// workload the paper's own evaluation (at most 8 chips) never reached.
+// Each chip count becomes an XCYM preset with DefaultStacks(chips) memory
+// stacks; modify returns from XCYM directly for other geometries. All runs
+// fan out across the machine's cores with deterministic, ordered results.
+func ScaleSweep(sizes []int, archs []Architecture, traffic TrafficSpec) ([]ScalePoint, error) {
+	if len(sizes) == 0 || len(archs) == 0 {
+		return nil, fmt.Errorf("wimc: scale sweep needs at least one size and one architecture")
+	}
+	t := traffic
+	t.Rate = 1.0
+	var pts []ScalePoint
+	var ps []engine.Params
+	for _, chips := range sizes {
+		for _, arch := range archs {
+			cfg, err := XCYM(chips, DefaultStacks(chips), arch)
+			if err != nil {
+				return nil, fmt.Errorf("wimc: scale sweep: %w", err)
+			}
+			pts = append(pts, ScalePoint{Chips: chips, Stacks: cfg.MemStacks, Arch: arch})
+			ps = append(ps, engine.Params{Cfg: cfg, Traffic: t})
+		}
+	}
+	rs, idx, err := exp.RunIndexed(sweepWorkers, ps)
+	if err != nil {
+		return nil, fmt.Errorf("wimc: %s: %w", ps[idx].Cfg.Name, err)
+	}
+	for i := range pts {
+		pts[i].Result = rs[i]
+	}
+	return pts, nil
+}
+
+// DefaultStacks returns the memory-stack count the XCYM presets pair with
+// a chip count: the paper's 4 stacks up to 8 chips, proportional scaling
+// (one stack per chip, rounded up to even) beyond.
+func DefaultStacks(chips int) int { return config.DefaultStacks(chips) }

@@ -107,9 +107,15 @@ type Result = engine.Result
 // 8 VCs, 16-flit buffers, 64-flit packets, 32-bit flits, 2.5 GHz).
 func Default() Config { return config.Default() }
 
-// XCYM returns a standard configuration: chips ∈ {1, 4, 8} processing chips
-// and stacks in-package memory stacks (64 cores total), under the given
-// architecture.
+// XCYM returns a standard configuration of chips processing chips and
+// stacks in-package memory stacks under the given architecture. Chip counts
+// 1, 4 and 8 reproduce the paper's published geometries (64 cores total);
+// any other count generalizes the 4C4M design point — a near-square grid of
+// 4x4-core chips, one wireless interface per chip — to multichip-system
+// scales the paper never evaluated (XCYM(64, 64, arch) is a 1024-core
+// package). Large presets build through the sharded topology constructor
+// and run under the active-set scheduler; see ScaleSweep for the
+// throughput/energy-versus-size methodology.
 func XCYM(chips, stacks int, arch Architecture) (Config, error) {
 	return config.XCYM(chips, stacks, arch)
 }

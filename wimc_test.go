@@ -126,8 +126,16 @@ func TestParseConfigPublic(t *testing.T) {
 }
 
 func TestXCYMPublic(t *testing.T) {
-	if _, err := wimc.XCYM(3, 4, wimc.ArchWireless); err == nil {
-		t.Fatal("XCYM(3) accepted")
+	if _, err := wimc.XCYM(0, 4, wimc.ArchWireless); err == nil {
+		t.Fatal("XCYM(0) accepted")
+	}
+	// Chip counts outside the paper's presets generalize instead of failing.
+	cfg3, err := wimc.XCYM(3, 4, wimc.ArchWireless)
+	if err != nil {
+		t.Fatalf("XCYM(3): %v", err)
+	}
+	if cfg3.Chips() != 3 || cfg3.Cores() != 48 {
+		t.Fatalf("XCYM(3): %d chips / %d cores", cfg3.Chips(), cfg3.Cores())
 	}
 	cfg := wimc.Default()
 	if err := cfg.Validate(); err != nil {
