@@ -1,0 +1,65 @@
+package wimc_test
+
+import (
+	"testing"
+
+	"wimc"
+)
+
+// channelSweepTraffic is the sweep methodology: uniform, 20% memory,
+// 16-flit packets so transfers complete within one MAC turn.
+func channelSweepTraffic() wimc.TrafficSpec {
+	return wimc.TrafficSpec{
+		Kind:        wimc.TrafficUniform,
+		MemFraction: 0.2,
+		PacketFlits: 16,
+	}
+}
+
+// TestChannelSweepPublicAPI drives the public sub-channel sweep and checks
+// ordering and the headline property: more sub-channels, more saturation
+// bandwidth.
+func TestChannelSweepPublicAPI(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation runs")
+	}
+	pts, err := wimc.ChannelSweep([]int{4}, []int{1, 4},
+		wimc.AssignSpatialReuse, channelSweepTraffic())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 2 {
+		t.Fatalf("%d points, want 2", len(pts))
+	}
+	for i, wantK := range []int{1, 4} {
+		p := pts[i]
+		if p.Chips != 4 || p.Channels != wantK || p.Assign != wimc.AssignSpatialReuse {
+			t.Fatalf("point %d = %dC K=%d %s", i, p.Chips, p.Channels, p.Assign)
+		}
+		if p.Result == nil || p.Result.BandwidthPerCoreGbps <= 0 {
+			t.Fatalf("point %d has no saturation bandwidth", i)
+		}
+	}
+	if pts[1].Result.BandwidthPerCoreGbps <= pts[0].Result.BandwidthPerCoreGbps {
+		t.Fatalf("K=4 bandwidth %.4f <= K=1 bandwidth %.4f",
+			pts[1].Result.BandwidthPerCoreGbps, pts[0].Result.BandwidthPerCoreGbps)
+	}
+}
+
+func TestChannelSweepRejectsBadInput(t *testing.T) {
+	if _, err := wimc.ChannelSweep(nil, []int{1}, wimc.AssignSpatialReuse, wimc.TrafficSpec{}); err == nil {
+		t.Fatal("empty sizes accepted")
+	}
+	if _, err := wimc.ChannelSweep([]int{4}, nil, wimc.AssignSpatialReuse, wimc.TrafficSpec{}); err == nil {
+		t.Fatal("empty channel counts accepted")
+	}
+	// 4C4M deploys 8 WIs; K=9 is unrealizable and must surface the
+	// validation error instead of silently clamping.
+	if _, err := wimc.ChannelSweep([]int{4}, []int{9}, wimc.AssignStaticPartition, wimc.TrafficSpec{}); err == nil {
+		t.Fatal("K > WI count accepted")
+	}
+	// The dead-knob combination: K > 1 on the single shared channel.
+	if _, err := wimc.ChannelSweep([]int{4}, []int{2}, wimc.AssignSingle, wimc.TrafficSpec{}); err == nil {
+		t.Fatal("K=2 with single assignment accepted")
+	}
+}

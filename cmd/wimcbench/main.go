@@ -6,9 +6,9 @@
 //
 // Usage:
 //
-//	wimcbench [-fig all|fig2|fig3|fig4|fig5|fig6|mac|channel|routing|sleep|density|hybrid|readrt|scale]
+//	wimcbench [-fig all|fig2|fig3|fig4|fig5|fig6|mac|channel|routing|sleep|density|hybrid|readrt|scale|channels]
 //	          [-quick] [-seed N] [-csv DIR] [-parallel=false] [-workers N]
-//	          [-scale-sizes 4,16,64]
+//	          [-scale-sizes 4,16,64] [-channel-ks 1,2,4,8]
 package main
 
 import (
@@ -25,13 +25,14 @@ import (
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "experiment to run (all, fig2..fig6, mac, channel, routing, sleep, density, hybrid, readrt, scale)")
+		fig        = flag.String("fig", "all", "experiment to run (all, fig2..fig6, mac, channel, routing, sleep, density, hybrid, readrt, scale, channels)")
 		quick      = flag.Bool("quick", false, "shortened simulation windows")
 		seed       = flag.Uint64("seed", 0, "override RNG seed (0 = default)")
 		csv        = flag.String("csv", "", "directory to write CSV files into")
 		parallel   = flag.Bool("parallel", true, "fan independent runs out across cores (results identical either way)")
 		workers    = flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
-		scaleSizes = flag.String("scale-sizes", "", "comma-separated chip counts for the scale sweep (default 4,8,16,32,64; quick 4,16,64)")
+		scaleSizes = flag.String("scale-sizes", "", "comma-separated chip counts for the scale/channel sweeps (default 4,8,16,32,64; quick 4,16,64)")
+		channelKs  = flag.String("channel-ks", "", "comma-separated sub-channel counts for the channel sweep (default 1,2,4,8)")
 	)
 	flag.Parse()
 
@@ -40,12 +41,17 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wimcbench: -scale-sizes: %v\n", err)
 		os.Exit(2)
 	}
+	ks, err := parseSizes(*channelKs)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wimcbench: -channel-ks: %v\n", err)
+		os.Exit(2)
+	}
 
 	ids := figures.Experiments()
 	if *fig != "all" {
 		ids = []string{*fig}
 	}
-	opts := figures.Opts{Quick: *quick, Seed: *seed, Workers: *workers, ScaleSizes: sizes}
+	opts := figures.Opts{Quick: *quick, Seed: *seed, Workers: *workers, ScaleSizes: sizes, ChannelKs: ks}
 	if !*parallel {
 		opts.Workers = 1
 	}

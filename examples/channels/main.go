@@ -1,0 +1,46 @@
+// Sweep the number of orthogonal mm-wave sub-channels on the exclusive
+// (literal shared-medium) wireless fabric: saturation throughput and
+// energy per bit at K = 1, 2 and 4 sub-channels under spatial frequency
+// reuse, on the paper's 4-chip package and the 16-chip grid beyond it.
+// K = 1 is the paper's single shared channel; higher K quantifies how much
+// of the wireless bandwidth wall concurrent WI groups recover, and what
+// the extra control broadcasts cost per bit.
+//
+//	go run ./examples/channels
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wimc"
+)
+
+func main() {
+	traffic := wimc.TrafficSpec{
+		Kind:        wimc.TrafficUniform,
+		MemFraction: 0.2,
+		// One receive-buffer reservation per packet, so packets complete
+		// within a single MAC turn (the figures.ChannelSweep methodology).
+		PacketFlits: 16,
+	}
+
+	pts, err := wimc.ChannelSweep(
+		[]int{4, 16}, []int{1, 2, 4},
+		wimc.AssignSpatialReuse, traffic)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bitsPerPacket := float64(traffic.PacketFlits * wimc.Default().FlitBits)
+
+	fmt.Println("Exclusive wireless channel with K sub-channels (spatial reuse), at saturation:")
+	fmt.Printf("  %-8s %-6s %3s %14s %12s\n",
+		"config", "cores", "K", "Gbps/core", "pJ/bit")
+	for _, p := range pts {
+		r := p.Result
+		fmt.Printf("  %-8s %-6d %3d %14.4f %12.1f\n",
+			fmt.Sprintf("%dC%dM", p.Chips, p.Stacks), r.Cores, p.Channels,
+			r.BandwidthPerCoreGbps, r.AvgPacketEnergyNJ*1000/bitsPerPacket)
+	}
+}

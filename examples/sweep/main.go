@@ -33,6 +33,9 @@ func main() {
 	for _, ch := range []wimc.ChannelMode{wimc.ChannelCrossbar, wimc.ChannelExclusive} {
 		cfg := wimc.MustXCYM(4, 4, wimc.ArchWireless)
 		cfg.Channel = ch
+		if ch == wimc.ChannelExclusive {
+			cfg.WirelessChannels = 1 // single shared medium (the literal PHY)
+		}
 		r, err := wimc.Saturate(cfg, wimc.TrafficSpec{Kind: wimc.TrafficUniform, MemFraction: 0.2})
 		if err != nil {
 			log.Fatal(err)

@@ -55,6 +55,32 @@ const (
 	ChannelExclusive ChannelMode = "exclusive"
 )
 
+// ChannelAssignment selects how wireless interfaces are mapped onto the
+// orthogonal mm-wave sub-channels of the exclusive channel model. With K =
+// WirelessChannels sub-channels, each group of WIs runs its own MAC turn
+// sequence (control-packet or token) on its own channel, so up to K
+// transmissions proceed concurrently; receivers are multi-band (after the
+// multi-channel transceivers of Chang et al. [6]) and accept flits from any
+// channel.
+type ChannelAssignment string
+
+// Supported channel assignments.
+const (
+	// AssignSingle is the single shared medium: every WI takes turns on one
+	// channel. It requires WirelessChannels == 1 on the exclusive model —
+	// a higher channel count would be silently dead — and is the only
+	// assignment meaningful for the crossbar model (where WirelessChannels
+	// is already the concurrency cap).
+	AssignSingle ChannelAssignment = "single"
+	// AssignStaticPartition splits the WIs into K groups round-robin by WI
+	// index (chip-major order), interleaving neighbors across channels.
+	AssignStaticPartition ChannelAssignment = "static-partition"
+	// AssignSpatialReuse divides the package grid into K near-square zones
+	// and groups each zone's WIs on one sub-channel, so far-apart WI groups
+	// transmit concurrently while close neighbors take turns.
+	AssignSpatialReuse ChannelAssignment = "spatial-reuse"
+)
+
 // MACMode selects the wireless medium-access protocol.
 type MACMode string
 
@@ -122,21 +148,22 @@ type Config struct {
 	InterposerBoundaryFr float64 `json:"interposer_boundary_fraction"` // fraction of facing boundary switch pairs wired (µbump budget); 1.0 = all
 
 	// Wireless physical layer and protocol.
-	WirelessChannels  int         `json:"wireless_channels"`    // orthogonal mm-wave sub-channels (crossbar concurrency cap)
-	WirelessGbps      float64     `json:"wireless_gbps"`        // per-transceiver sustained rate
-	WirelessPJPerBit  float64     `json:"wireless_pj_per_bit"`  //
-	WirelessLatency   int         `json:"wireless_latency"`     // extra hop cycles beyond serialization
-	WirelessBER       float64     `json:"wireless_ber"`         // bit error rate (retransmission model)
-	Channel           ChannelMode `json:"channel_mode"`         //
-	MAC               MACMode     `json:"mac_mode"`             //
-	ControlFlits      int         `json:"control_flits"`        // control packet length in flit-times
-	TXBufferFlits     int         `json:"tx_buffer_flits"`      // WI transmit buffer depth
-	SleepEnabled      bool        `json:"sleep_enabled"`        // sleepy transceivers [17]
-	WIRxActiveMW      float64     `json:"wi_rx_active_mw"`      // receiver awake power
-	WISleepMW         float64     `json:"wi_sleep_mw"`          // power-gated receiver power
-	WirelessHopWeight int         `json:"wireless_hop_weight"`  // routing cost of one wireless hop
-	CrossbarEgressGbp float64     `json:"crossbar_egress_gbps"` // 0 = full port rate
-	PostWirelessVCs   int         `json:"post_wireless_vcs"`    // VC class size for post-wireless travel
+	WirelessChannels  int               `json:"wireless_channels"`    // orthogonal mm-wave sub-channels (concurrency budget)
+	WirelessGbps      float64           `json:"wireless_gbps"`        // per-transceiver sustained rate
+	WirelessPJPerBit  float64           `json:"wireless_pj_per_bit"`  //
+	WirelessLatency   int               `json:"wireless_latency"`     // extra hop cycles beyond serialization
+	WirelessBER       float64           `json:"wireless_ber"`         // bit error rate (retransmission model)
+	Channel           ChannelMode       `json:"channel_mode"`         //
+	MAC               MACMode           `json:"mac_mode"`             //
+	ChannelAssign     ChannelAssignment `json:"channel_assignment"`   // WI-to-sub-channel mapping (exclusive model)
+	ControlFlits      int               `json:"control_flits"`        // control packet length in flit-times
+	TXBufferFlits     int               `json:"tx_buffer_flits"`      // WI transmit buffer depth
+	SleepEnabled      bool              `json:"sleep_enabled"`        // sleepy transceivers [17]
+	WIRxActiveMW      float64           `json:"wi_rx_active_mw"`      // receiver awake power
+	WISleepMW         float64           `json:"wi_sleep_mw"`          // power-gated receiver power
+	WirelessHopWeight int               `json:"wireless_hop_weight"`  // routing cost of one wireless hop
+	CrossbarEgressGbp float64           `json:"crossbar_egress_gbps"` // 0 = full port rate
+	PostWirelessVCs   int               `json:"post_wireless_vcs"`    // VC class size for post-wireless travel
 
 	// Routing.
 	Routing RoutingMode `json:"routing_mode"`
@@ -204,6 +231,7 @@ func Default() Config {
 		WirelessBER:       0,
 		Channel:           ChannelCrossbar,
 		MAC:               MACControlPacket,
+		ChannelAssign:     AssignSingle,
 		ControlFlits:      1,
 		TXBufferFlits:     16,
 		SleepEnabled:      true,
@@ -256,6 +284,12 @@ func XCYM(chips, stacks int, arch Architecture) (Config, error) {
 		c.ChipsX, c.ChipsY = chipGrid(chips)
 		c.CoresX, c.CoresY = 4, 4
 		c.CoresPerWI = 16 // 1 WI per chip
+	}
+	// Small packages deploy fewer WIs than the default sub-channel budget;
+	// presets always request a concurrency the fabric can realize (Validate
+	// rejects wireless_channels beyond the WI count).
+	if n := c.TotalWIs(); n > 0 && c.WirelessChannels > n {
+		c.WirelessChannels = n
 	}
 	c.Name = fmt.Sprintf("%dC%dM (%s)", chips, stacks, titleASCII(string(arch)))
 	return c, nil
@@ -325,6 +359,16 @@ func (c Config) WIsPerChip() int {
 	return n
 }
 
+// TotalWIs returns the number of wireless interfaces the topology deploys:
+// one per core cluster on every chip plus one on every memory stack's logic
+// die. It is 0 for the wired architectures.
+func (c Config) TotalWIs() int {
+	if c.Arch != ArchWireless && c.Arch != ArchHybrid {
+		return 0
+	}
+	return c.Chips()*c.WIsPerChip() + c.MemStacks
+}
+
 // PortRateGbps returns the full rate of a one-flit-wide port.
 func (c Config) PortRateGbps() float64 { return float64(c.FlitBits) * c.ClockGHz }
 
@@ -349,6 +393,11 @@ func (c Config) Validate() error {
 	case MACControlPacket, MACToken:
 	default:
 		return fmt.Errorf("config: unknown MAC mode %q", c.MAC)
+	}
+	switch c.ChannelAssign {
+	case AssignSingle, AssignStaticPartition, AssignSpatialReuse:
+	default:
+		return fmt.Errorf("config: unknown channel assignment %q", c.ChannelAssign)
 	}
 	type bound struct {
 		name string
@@ -401,6 +450,18 @@ func (c Config) Validate() error {
 		}
 		if c.WirelessChannels < 1 {
 			return fmt.Errorf("config: wireless_channels must be >= 1, got %d", c.WirelessChannels)
+		}
+		if n := c.TotalWIs(); c.WirelessChannels > n {
+			return fmt.Errorf("config: wireless_channels (%d) exceeds the %d deployed WIs: the fabric cannot realize that concurrency", c.WirelessChannels, n)
+		}
+		if c.WirelessLatency < 1 {
+			return fmt.Errorf("config: wireless_latency must be >= 1 cycle, got %d", c.WirelessLatency)
+		}
+		if c.Channel == ChannelCrossbar && c.ChannelAssign != AssignSingle {
+			return fmt.Errorf("config: channel_assignment %q applies only to the exclusive channel model (the crossbar honors wireless_channels directly)", c.ChannelAssign)
+		}
+		if c.Channel == ChannelExclusive && c.ChannelAssign == AssignSingle && c.WirelessChannels != 1 {
+			return fmt.Errorf("config: wireless_channels = %d is dead on a single exclusive channel; set channel_assignment to %q or %q (or wireless_channels to 1)", c.WirelessChannels, AssignStaticPartition, AssignSpatialReuse)
 		}
 		if c.WirelessGbps <= 0 {
 			return fmt.Errorf("config: wireless_gbps must be positive, got %v", c.WirelessGbps)

@@ -166,6 +166,22 @@ func TestValidationErrors(t *testing.T) {
 		{"indivisible wi density", func(c *Config) { c.CoresPerWI = 5 }},
 		{"token buffer too small", func(c *Config) { c.MAC = MACToken; c.TXBufferFlits = 8 }},
 		{"bad hop weight", func(c *Config) { c.WirelessHopWeight = 0 }},
+		{"bad assignment", func(c *Config) { c.ChannelAssign = "telepathic" }},
+		{"zero wireless latency", func(c *Config) { c.WirelessLatency = 0 }},
+		{"negative wireless latency", func(c *Config) { c.WirelessLatency = -3 }},
+		{"channels exceed WIs", func(c *Config) {
+			// 4C4M deploys 8 WIs (4 chip + 4 stack).
+			c.Channel = ChannelExclusive
+			c.ChannelAssign = AssignStaticPartition
+			c.WirelessChannels = 9
+		}},
+		{"dead knob on single exclusive channel", func(c *Config) {
+			// The pre-PR3 silent bug: the exclusive MAC drove one channel
+			// no matter what wireless_channels said.
+			c.Channel = ChannelExclusive
+			c.WirelessChannels = 5
+		}},
+		{"assignment on crossbar", func(c *Config) { c.ChannelAssign = AssignSpatialReuse }},
 	}
 	for _, tc := range mutations {
 		t.Run(tc.name, func(t *testing.T) {
@@ -175,6 +191,40 @@ func TestValidationErrors(t *testing.T) {
 				t.Fatalf("mutation %q accepted", tc.name)
 			}
 		})
+	}
+}
+
+func TestMultiChannelAssignmentsValid(t *testing.T) {
+	for _, assign := range []ChannelAssignment{AssignStaticPartition, AssignSpatialReuse} {
+		for _, k := range []int{1, 2, 4, 8} {
+			cfg := MustXCYM(4, 4, ArchWireless)
+			cfg.Channel = ChannelExclusive
+			cfg.ChannelAssign = assign
+			cfg.WirelessChannels = k
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("%s K=%d rejected: %v", assign, k, err)
+			}
+		}
+	}
+}
+
+func TestTotalWIs(t *testing.T) {
+	tests := []struct {
+		chips, stacks, want int
+	}{
+		{1, 4, 8}, // 4 on-chip clusters + 4 stacks
+		{4, 4, 8},
+		{8, 4, 12},
+		{64, 64, 128},
+	}
+	for _, tc := range tests {
+		cfg := MustXCYM(tc.chips, tc.stacks, ArchWireless)
+		if got := cfg.TotalWIs(); got != tc.want {
+			t.Errorf("TotalWIs(%dC%dM) = %d, want %d", tc.chips, tc.stacks, got, tc.want)
+		}
+	}
+	if got := MustXCYM(4, 4, ArchInterposer).TotalWIs(); got != 0 {
+		t.Errorf("wired TotalWIs = %d, want 0", got)
 	}
 }
 

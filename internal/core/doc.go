@@ -1,0 +1,61 @@
+// Package core implements the paper's primary contribution: the seamless
+// wireless interconnection fabric for multichip systems.
+//
+// Each wireless interface (WI) is a pair of extra ports on its host switch.
+// The transmit side has one queue per virtual channel (the paper gives
+// every port, "including those with the wireless transceivers", 8 VCs with
+// 16-flit buffers); flow control into the TX queues uses the ordinary
+// credit mechanism. The receive side allocates VCs by packet ID, exactly as
+// the control-packet MAC prescribes: the (DestWI, PktID, NumFlits) 3-tuples
+// — at most one per output VC — let a WI transmit *partial* packets while
+// the receiver demultiplexes flits into the correct VC, preserving wormhole
+// integrity.
+//
+// Two channel models are provided (DESIGN.md §5.1):
+//
+//   - ChannelCrossbar: every WI pair is a direct link; each WI transmits at
+//     most one flit per cycle and each WI receives at most one flit per
+//     cycle (round-robin ingress arbitration), with total concurrent
+//     transmissions capped by WirelessChannels. This is the
+//     results-consistent model implied by the paper's reported bandwidth
+//     and latency.
+//   - ChannelExclusive: the literal PHY description — shared media at the
+//     transceiver data rate, granted to one WI at a time by the MAC
+//     (control-packet protocol or whole-packet token baseline).
+//
+// # Channel assignment (exclusive model)
+//
+// The exclusive model generalizes from one shared medium to K =
+// WirelessChannels orthogonal mm-wave sub-channels (after the
+// multi-channel transceivers of Chang et al. [6]). config.ChannelAssign
+// selects how WIs map onto them:
+//
+//   - single: the pre-PR3 behavior — every WI takes turns on one channel
+//     (requires WirelessChannels == 1; a larger count would be silently
+//     dead, which config.Validate rejects).
+//   - static-partition: WIs are split into K groups round-robin by WI
+//     index, interleaving chip-major neighbors across channels.
+//   - spatial-reuse: the package grid is divided into K near-square zones
+//     and each zone's WIs share one sub-channel, so far-apart WI groups
+//     transmit concurrently while close neighbors take turns — spatial
+//     frequency reuse.
+//
+// Each sub-channel runs its own MAC turn sequence (control-packet or
+// token) over its members with its own token bucket at the transceiver
+// rate, so aggregate wireless capacity scales with K. A turn holder may
+// address any WI in the package; receivers are multi-band and the shared
+// per-VC receive-space reservations keep concurrent channels from
+// overrunning a receiver. Fabric.ConcurrencyBudget reports the number of
+// populated sub-channels — the normalization the engine uses for wireless
+// link utilization.
+//
+// The pre-sub-channel single-channel MAC is retained verbatim in
+// mac_legacy.go as a reference path (engine Params.LegacySingleChannel),
+// and the engine's equivalence regression asserts the K=1 fabric is
+// byte-identical to it for both MAC protocols.
+//
+// Receivers are power-gated ("sleepy transceivers", after Mondal & Deb
+// [17]) whenever announced traffic is not addressed to them; every WI
+// wakes for control broadcasts, so higher K trades a higher awake fraction
+// for concurrency.
+package core

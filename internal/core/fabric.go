@@ -52,15 +52,15 @@ type Fabric struct {
 	lastLaunch      sim.Cycle
 	launchedScratch []bool
 
-	// Exclusive-channel MAC state.
-	channel       sim.TokenBucket
-	turn          int
-	phase         macPhase
-	controlLeft   int
-	announceLeft  int
-	announceDests map[int]bool // WI indexes addressed by the current turn
-	tokenPktID    uint64       // token MAC: packet granted this turn
-	tokenQueue    int          // token MAC: TX queue holding the granted packet
+	// Exclusive-channel fabric: chanRate is the per-sub-channel token rate,
+	// subs the sub-channels (built on first use from the configured channel
+	// assignment) and chOf the transmit sub-channel of each WI index.
+	// legacy, when non-nil, swaps in the retained pre-sub-channel MAC (the
+	// K=1 equivalence reference path).
+	chanRate sim.Rate
+	subs     []*subChannel
+	chOf     []int
+	legacy   *legacyMAC
 
 	// Statistics.
 	ControlPackets int64
@@ -71,27 +71,43 @@ type Fabric struct {
 	Launched       int64
 }
 
+// subChannel is one orthogonal mm-wave sub-channel of the exclusive
+// fabric: a member group (its MAC turn sequence, in WI-index order), a
+// token bucket at the per-transceiver rate, and the turn-machine state the
+// pre-sub-channel fabric kept globally. Sub-channels arbitrate
+// independently, so up to K transmissions proceed concurrently; a member
+// may address any WI in the package (receivers are multi-band).
+type subChannel struct {
+	members []*WI
+	bucket  sim.TokenBucket
+
+	turn         int // index into members
+	phase        macPhase
+	controlLeft  int
+	announceLeft int
+	// announceDests holds the fabric WI indexes addressed by the current
+	// turn (awake gating); ranged only for order-independent flag setting.
+	announceDests map[int]bool
+	tokenPktID    uint64 // token MAC: packet granted this turn
+	tokenQueue    int    // token MAC: TX queue holding the granted packet
+}
+
 // NewFabric constructs the wireless fabric. WIs are added afterwards with
-// AddWI in MAC-sequence order.
+// AddWI in MAC-sequence order. WirelessLatency < 1 is rejected by
+// config.Validate; the fabric trusts its configuration.
 func NewFabric(cfg config.Config, m *energy.Meter, rng *sim.Rand) *Fabric {
 	// Per-flit error probability: 1 - (1-BER)^bits ≈ bits*BER for small BER.
 	flitErr := 1.0 - pow1m(cfg.WirelessBER, cfg.FlitBits)
-	rate := sim.RateFromGbps(cfg.WirelessGbps, cfg.FlitBits, cfg.ClockGHz)
-	extra := cfg.WirelessLatency
-	if extra < 1 {
-		extra = 1
-	}
 	return &Fabric{
-		cfg:           cfg,
-		meter:         m,
-		rng:           rng,
-		wiOf:          make(map[sim.SwitchID]*WI),
-		pjPerFlit:     cfg.WirelessPJPerBit * float64(cfg.FlitBits),
-		flitErrProb:   flitErr,
-		extraLat:      sim.Cycle(extra),
-		channel:       sim.NewTokenBucket(rate),
-		announceDests: make(map[int]bool),
-		lastLaunch:    -1,
+		cfg:         cfg,
+		meter:       m,
+		rng:         rng,
+		wiOf:        make(map[sim.SwitchID]*WI),
+		pjPerFlit:   cfg.WirelessPJPerBit * float64(cfg.FlitBits),
+		flitErrProb: flitErr,
+		extraLat:    sim.Cycle(cfg.WirelessLatency),
+		chanRate:    sim.RateFromGbps(cfg.WirelessGbps, cfg.FlitBits, cfg.ClockGHz),
+		lastLaunch:  -1,
 	}
 }
 
@@ -106,7 +122,10 @@ func pow1m(p float64, n int) float64 {
 
 // AddWI attaches a wireless interface to sw, creating its wireless ports.
 // WIs must be added in the paper's numbering order (the MAC turn sequence).
-func (fb *Fabric) AddWI(sw *noc.Switch) *WI {
+// gx, gy locate the host switch on the global mesh grid (memory-stack
+// switches sit just outside it); the spatial-reuse channel assignment
+// groups WIs by these coordinates.
+func (fb *Fabric) AddWI(sw *noc.Switch, gx, gy int) *WI {
 	egressRate := sim.RateOne
 	if fb.cfg.Channel == config.ChannelCrossbar && fb.cfg.CrossbarEgressGbp > 0 {
 		egressRate = sim.RateFromGbps(fb.cfg.CrossbarEgressGbp, fb.cfg.FlitBits, fb.cfg.ClockGHz)
@@ -114,6 +133,8 @@ func (fb *Fabric) AddWI(sw *noc.Switch) *WI {
 	w := &WI{
 		Index:     len(fb.wis),
 		SwitchID:  sw.ID,
+		gx:        gx,
+		gy:        gy,
 		fb:        fb,
 		sw:        sw,
 		txDepth:   fb.cfg.TXBufferFlits,
@@ -138,6 +159,133 @@ func (fb *Fabric) AddWI(sw *noc.Switch) *WI {
 
 // WIs returns the fabric's interfaces in MAC order.
 func (fb *Fabric) WIs() []*WI { return fb.wis }
+
+// ensureChannels builds the exclusive model's sub-channels from the
+// configured assignment on first use (after every AddWI). Groups hold
+// members in ascending WI index, so sub-channel iteration order — and with
+// it every energy accumulation — is deterministic.
+func (fb *Fabric) ensureChannels() {
+	if fb.subs != nil || fb.cfg.Channel != config.ChannelExclusive || len(fb.wis) == 0 {
+		return
+	}
+	k := fb.cfg.WirelessChannels
+	if k < 1 {
+		k = 1
+	}
+	if k > len(fb.wis) {
+		// config.Validate rejects this; clamp defensively for bare harnesses.
+		k = len(fb.wis)
+	}
+	fb.chOf = make([]int, len(fb.wis))
+	switch fb.cfg.ChannelAssign {
+	case config.AssignStaticPartition:
+		for i := range fb.wis {
+			fb.chOf[i] = i % k
+		}
+	case config.AssignSpatialReuse:
+		fb.assignSpatial(k)
+	default: // AssignSingle: one shared channel (Validate pins k to 1)
+		k = 1
+	}
+	fb.subs = make([]*subChannel, k)
+	for i := range fb.subs {
+		fb.subs[i] = &subChannel{
+			bucket:        sim.NewTokenBucket(fb.chanRate),
+			announceDests: make(map[int]bool),
+		}
+	}
+	for i, w := range fb.wis {
+		sub := fb.subs[fb.chOf[i]]
+		sub.members = append(sub.members, w)
+	}
+}
+
+// assignSpatial maps each WI to the sub-channel of its grid zone: the
+// global mesh grid is divided into the most-square kx × ky = k tiling and
+// a WI joins the zone containing its host switch, so WI groups that are
+// far apart on the package land on different channels and transmit
+// concurrently (spatial frequency reuse), while neighbors share a channel
+// and take turns.
+func (fb *Fabric) assignSpatial(k int) {
+	kx, ky := squareFactor(k)
+	cols := fb.cfg.ChipsX * fb.cfg.CoresX
+	rows := fb.cfg.ChipsY * fb.cfg.CoresY
+	for i, w := range fb.wis {
+		x, y := w.gx, w.gy
+		// Memory-stack switches flank the grid at gx = -1 / cols; fold them
+		// onto the nearest grid column.
+		if x < 0 {
+			x = 0
+		}
+		if x >= cols {
+			x = cols - 1
+		}
+		if y < 0 {
+			y = 0
+		}
+		if y >= rows {
+			y = rows - 1
+		}
+		fb.chOf[i] = (y*ky/rows)*kx + x*kx/cols
+	}
+}
+
+// squareFactor returns the most-square (x, y) factorization of n with
+// x >= y (the zone tiling of the spatial-reuse assignment).
+func squareFactor(n int) (x, y int) {
+	x, y = n, 1
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			x, y = n/d, d
+		}
+	}
+	return x, y
+}
+
+// ConcurrencyBudget returns the number of concurrent wireless
+// transmissions the fabric can physically sustain: the sub-channel cap for
+// the crossbar model, and the number of populated sub-channels for the
+// exclusive model (a spatial zone without WIs is dead capacity). The
+// engine normalizes wireless link utilization by this budget.
+func (fb *Fabric) ConcurrencyBudget() int {
+	if fb.cfg.Channel == config.ChannelCrossbar {
+		ch := fb.crossbarBudget()
+		if ch < 1 {
+			ch = 1
+		}
+		return ch
+	}
+	if fb.legacy != nil {
+		return 1
+	}
+	fb.ensureChannels()
+	busy := 0
+	for _, s := range fb.subs {
+		if len(s.members) > 0 {
+			busy++
+		}
+	}
+	if busy < 1 {
+		busy = 1
+	}
+	return busy
+}
+
+// SubChannelMembers returns the WI indexes of each exclusive sub-channel
+// in channel order (inspection/tests); nil for the crossbar model.
+func (fb *Fabric) SubChannelMembers() [][]int {
+	if fb.cfg.Channel != config.ChannelExclusive {
+		return nil
+	}
+	fb.ensureChannels()
+	out := make([][]int, len(fb.subs))
+	for i, s := range fb.subs {
+		for _, w := range s.members {
+			out[i] = append(out[i], w.Index)
+		}
+	}
+	return out
+}
 
 // WIBySwitch returns the WI hosted at switch id, if any.
 func (fb *Fabric) WIBySwitch(id sim.SwitchID) (*WI, bool) {
@@ -203,7 +351,12 @@ func (fb *Fabric) Launch(now sim.Cycle) {
 	case config.ChannelCrossbar:
 		fb.launchCrossbar(now)
 	case config.ChannelExclusive:
-		fb.launchExclusive(now)
+		if fb.legacy != nil {
+			fb.launchExclusiveLegacy(now)
+		} else {
+			fb.ensureChannels()
+			fb.launchExclusive(now)
+		}
 	}
 	// Power-gating accounting.
 	for _, w := range fb.wis {
@@ -226,10 +379,7 @@ func (fb *Fabric) Launch(now sim.Cycle) {
 // the number of chips" property the paper's §IV.C argument relies on.
 func (fb *Fabric) launchCrossbar(now sim.Cycle) {
 	n := len(fb.wis)
-	budget := fb.cfg.WirelessChannels
-	if budget <= 0 || budget > n {
-		budget = n
-	}
+	budget := fb.crossbarBudget()
 	launched := fb.launchedScratch
 	for i := range launched {
 		launched[i] = false
@@ -266,6 +416,18 @@ func (fb *Fabric) launchCrossbar(now sim.Cycle) {
 		}
 	}
 	fb.rrDst = (fb.rrDst + 1) % n
+}
+
+// crossbarBudget returns the crossbar's per-cycle concurrent-launch cap:
+// the configured sub-channel count, clamped to the WI count for bare
+// harnesses that bypass config.Validate.
+func (fb *Fabric) crossbarBudget() int {
+	n := len(fb.wis)
+	budget := fb.cfg.WirelessChannels
+	if budget <= 0 || budget > n {
+		budget = n
+	}
+	return budget
 }
 
 // launchableQueue returns a TX queue of src whose head flit can be

@@ -49,7 +49,9 @@ func newRig(t *testing.T, n int, cfg config.Config) *rig {
 		sw := noc.NewSwitch(sim.SwitchID(i), cfg.VCs, cfg.BufferDepth, cfg.FlitBits, 0, m)
 		sw.SetPhaseSplit(true, cfg.PostWirelessVCs)
 		r.switches = append(r.switches, sw)
-		r.wis = append(r.wis, r.fabric.AddWI(sw))
+		// WIs sit on a line along x: spatial-reuse zones become contiguous
+		// index ranges, which the sub-channel tests rely on.
+		r.wis = append(r.wis, r.fabric.AddWI(sw, i, 0))
 	}
 	for i, sw := range r.switches {
 		in := sw.AddInputPort(nil)

@@ -8,66 +8,93 @@ import (
 	"wimc/internal/sim"
 )
 
-// launchExclusive drives the single shared mm-wave channel. WIs take turns
-// in numbering order. Under the control-packet MAC (the paper's proposal)
-// each turn opens with a broadcast control packet announcing
-// (DestWI, PktID, NumFlits) 3-tuples — at most one tuple per output VC —
-// after which exactly the announced flits are transmitted at the channel
-// rate; partial packets are permitted because the PktID demultiplexes flits
-// into the reserved VC at the receiver. Under the token MAC baseline [7]
-// only whole packets may be transmitted; a WI without a complete packet
-// buffered passes the token.
+// launchExclusive drives the exclusive channel model: K orthogonal mm-wave
+// sub-channels (config.ChannelAssign groups the WIs), each arbitrated by
+// its own MAC turn sequence over its member WIs. Under the control-packet
+// MAC (the paper's proposal) each turn opens with a broadcast control
+// packet announcing (DestWI, PktID, NumFlits) 3-tuples — at most one tuple
+// per output VC — after which exactly the announced flits are transmitted
+// at the channel rate; partial packets are permitted because the PktID
+// demultiplexes flits into the reserved VC at the receiver. Under the
+// token MAC baseline [7] only whole packets may be transmitted; a WI
+// without a complete packet buffered passes the token.
+//
+// A turn holder may address any WI in the package, not just members of its
+// own sub-channel: receivers are multi-band and the per-VC receive-space
+// reservation machinery is shared, so concurrent channels never overrun a
+// receiver. Sub-channels are served in ascending channel index every
+// cycle, which keeps energy accumulation deterministic and makes the K=1
+// fabric cycle-identical to the retained legacy single-channel MAC
+// (mac_legacy.go, asserted by the engine's equivalence regression).
 func (fb *Fabric) launchExclusive(now sim.Cycle) {
-
-	if fb.phase == phaseIdle {
-		fb.startTurn()
+	anyControl := false
+	for _, sub := range fb.subs {
+		if len(sub.members) == 0 {
+			continue // unpopulated spatial zone: dead capacity
+		}
+		if fb.launchSub(sub, now) {
+			anyControl = true
+		}
 	}
-
-	switch fb.phase {
-	case phaseControl:
-		// Every receiver listens to control broadcasts.
+	// Every receiver listens to control broadcasts; one wake pass covers
+	// all sub-channels (the awake flags are read only after Launch).
+	if anyControl {
 		for _, w := range fb.wis {
 			w.awake = true
-		}
-		if fb.channel.TrySpendAt(now) {
-			fb.controlLeft--
-			if fb.controlLeft <= 0 {
-				if fb.announceLeft > 0 {
-					fb.phase = phaseData
-				} else {
-					fb.advanceTurn()
-				}
-			}
-		}
-	case phaseData:
-		src := fb.wis[fb.turn]
-		src.awake = true
-		for i := range fb.announceDests {
-			fb.wis[i].awake = true
-		}
-		if !fb.channel.CanSpendAt(now) {
-			return
-		}
-		switch fb.cfg.MAC {
-		case config.MACControlPacket:
-			fb.dataStepControlPacket(now, src)
-		case config.MACToken:
-			fb.dataStepToken(now, src)
-		}
-		if fb.announceLeft <= 0 {
-			fb.advanceTurn()
 		}
 	}
 }
 
-// startTurn begins the turn of fb.wis[fb.turn]: broadcast the control
-// packet (or pass the token) and reserve receive space for the announced
-// flits.
-func (fb *Fabric) startTurn() {
-	src := fb.wis[fb.turn]
-	fb.announceLeft = 0
-	for k := range fb.announceDests {
-		delete(fb.announceDests, k)
+// launchSub advances one sub-channel's MAC by one cycle, reporting whether
+// it spent the cycle in a control broadcast (every receiver must wake).
+func (fb *Fabric) launchSub(sub *subChannel, now sim.Cycle) bool {
+	if sub.phase == phaseIdle {
+		fb.startTurn(sub)
+	}
+
+	switch sub.phase {
+	case phaseControl:
+		if sub.bucket.TrySpendAt(now) {
+			sub.controlLeft--
+			if sub.controlLeft <= 0 {
+				if sub.announceLeft > 0 {
+					sub.phase = phaseData
+				} else {
+					fb.advanceTurn(sub)
+				}
+			}
+		}
+		return true
+	case phaseData:
+		src := sub.members[sub.turn]
+		src.awake = true
+		for i := range sub.announceDests {
+			fb.wis[i].awake = true
+		}
+		if !sub.bucket.CanSpendAt(now) {
+			return false
+		}
+		switch fb.cfg.MAC {
+		case config.MACControlPacket:
+			fb.dataStepControlPacket(sub, now, src)
+		case config.MACToken:
+			fb.dataStepToken(sub, now, src)
+		}
+		if sub.announceLeft <= 0 {
+			fb.advanceTurn(sub)
+		}
+	}
+	return false
+}
+
+// startTurn begins the turn of the sub-channel's current member: broadcast
+// the control packet (or pass the token) and reserve receive space for the
+// announced flits.
+func (fb *Fabric) startTurn(sub *subChannel) {
+	src := sub.members[sub.turn]
+	sub.announceLeft = 0
+	for k := range sub.announceDests {
+		delete(sub.announceDests, k)
 	}
 	for q := range src.announced {
 		src.announced[q] = 0
@@ -75,37 +102,37 @@ func (fb *Fabric) startTurn() {
 
 	switch fb.cfg.MAC {
 	case config.MACControlPacket:
-		fb.announceControlPacket(src)
-		fb.controlLeft = fb.cfg.ControlFlits
+		fb.announceControlPacket(sub, src)
+		sub.controlLeft = fb.cfg.ControlFlits
 		fb.ControlPackets++
 		// Control broadcast energy (protocol overhead, not packet-attributed).
 		fb.meter.AddDynamic(energy.ClassWireless,
 			fb.cfg.ControlFlits*fb.cfg.FlitBits,
 			fb.pjPerFlit*float64(fb.cfg.ControlFlits))
-		if fb.announceLeft == 0 {
+		if sub.announceLeft == 0 {
 			fb.TokenPasses++
 		}
 	case config.MACToken:
-		fb.announceToken(src)
-		if fb.announceLeft == 0 {
+		fb.announceToken(sub, src)
+		if sub.announceLeft == 0 {
 			// Token pass: one flit-time on the channel.
-			fb.controlLeft = 1
+			sub.controlLeft = 1
 			fb.TokenPasses++
 		} else {
-			fb.controlLeft = fb.cfg.ControlFlits
+			sub.controlLeft = fb.cfg.ControlFlits
 			fb.ControlPackets++
 			fb.meter.AddDynamic(energy.ClassWireless,
 				fb.cfg.ControlFlits*fb.cfg.FlitBits,
 				fb.pjPerFlit*float64(fb.cfg.ControlFlits))
 		}
 	}
-	fb.phase = phaseControl
+	sub.phase = phaseControl
 }
 
 // announceControlPacket reserves receive space for the longest announceable
 // prefix of every TX queue, within the 3-tuple budget (one tuple per
 // distinct (destination, packet) pair, at most one per output VC).
-func (fb *Fabric) announceControlPacket(src *WI) {
+func (fb *Fabric) announceControlPacket(sub *subChannel, src *WI) {
 	tuples := make(map[uint64]bool, fb.cfg.VCs)
 	for q := range src.txVC {
 	queue:
@@ -134,9 +161,9 @@ func (fb *Fabric) announceControlPacket(src *WI) {
 			e.dest.space[vc]--
 			e.reserved = true
 			tuples[f.Pkt.ID] = true
-			fb.announceDests[e.dest.Index] = true
+			sub.announceDests[e.dest.Index] = true
 			src.announced[q]++
-			fb.announceLeft++
+			sub.announceLeft++
 		}
 	}
 }
@@ -145,7 +172,7 @@ func (fb *Fabric) announceControlPacket(src *WI) {
 // head (whole-packet constraint of the token MAC) and allocates its receive
 // VC. Receive buffer space is NOT reserved up front — the receiver drains
 // while the packet transmits, and the channel stalls when it cannot.
-func (fb *Fabric) announceToken(src *WI) {
+func (fb *Fabric) announceToken(sub *subChannel, src *WI) {
 	for q := range src.txVC {
 		queue := src.txVC[q]
 		if len(queue) == 0 || !queue[0].f.IsHead() {
@@ -165,17 +192,17 @@ func (fb *Fabric) announceToken(src *WI) {
 		if queue[0].dest.allocRxVC(p.ID) < 0 {
 			continue // receiver VC exhausted; try another queue
 		}
-		fb.tokenPktID = p.ID
-		fb.tokenQueue = q
-		fb.announceLeft = p.NumFlits
-		fb.announceDests[queue[0].dest.Index] = true
+		sub.tokenPktID = p.ID
+		sub.tokenQueue = q
+		sub.announceLeft = p.NumFlits
+		sub.announceDests[queue[0].dest.Index] = true
 		return
 	}
 }
 
 // dataStepControlPacket transmits the next announced flit, round-robin over
 // the TX queues with announced flits remaining.
-func (fb *Fabric) dataStepControlPacket(now sim.Cycle, src *WI) {
+func (fb *Fabric) dataStepControlPacket(sub *subChannel, now sim.Cycle, src *WI) {
 	nq := len(src.txVC)
 	for k := 0; k < nq; k++ {
 		q := (src.rrTx + k) % nq
@@ -185,28 +212,28 @@ func (fb *Fabric) dataStepControlPacket(now sim.Cycle, src *WI) {
 		if len(src.txVC[q]) == 0 || !src.txVC[q][0].reserved {
 			panic(fmt.Sprintf("core: WI %d queue %d announced but head unreserved", src.Index, q))
 		}
-		if !fb.channel.TrySpendAt(now) {
+		if !sub.bucket.TrySpendAt(now) {
 			return
 		}
 		if fb.transmit(now, src, q) {
 			src.announced[q]--
-			fb.announceLeft--
+			sub.announceLeft--
 		}
 		src.rrTx = (q + 1) % nq
 		return
 	}
 	// Defensive: nothing announced remains (should not happen).
-	fb.announceLeft = 0
+	sub.announceLeft = 0
 }
 
 // dataStepToken transmits the next flit of the granted whole packet,
 // stalling the held channel when the receiver buffer is full (the
 // inefficiency the control-packet MAC removes).
-func (fb *Fabric) dataStepToken(now sim.Cycle, src *WI) {
-	q := fb.tokenQueue
-	if len(src.txVC[q]) == 0 || src.txVC[q][0].f.Pkt.ID != fb.tokenPktID {
+func (fb *Fabric) dataStepToken(sub *subChannel, now sim.Cycle, src *WI) {
+	q := sub.tokenQueue
+	if len(src.txVC[q]) == 0 || src.txVC[q][0].f.Pkt.ID != sub.tokenPktID {
 		panic(fmt.Sprintf("core: WI %d token packet %d vanished from TX queue %d",
-			src.Index, fb.tokenPktID, q))
+			src.Index, sub.tokenPktID, q))
 	}
 	e := &src.txVC[q][0]
 	vc := e.dest.rxVCFor(e.f.Pkt.ID)
@@ -220,17 +247,17 @@ func (fb *Fabric) dataStepToken(now sim.Cycle, src *WI) {
 		e.dest.space[vc]--
 		e.reserved = true
 	}
-	if !fb.channel.TrySpendAt(now) {
+	if !sub.bucket.TrySpendAt(now) {
 		return
 	}
 	if fb.transmit(now, src, q) {
-		fb.announceLeft--
+		sub.announceLeft--
 	}
 }
 
-// advanceTurn hands the channel to the next WI in sequence.
-func (fb *Fabric) advanceTurn() {
-	fb.turn = (fb.turn + 1) % len(fb.wis)
-	fb.phase = phaseIdle
-	fb.announceLeft = 0
+// advanceTurn hands the sub-channel to the next member in sequence.
+func (fb *Fabric) advanceTurn(sub *subChannel) {
+	sub.turn = (sub.turn + 1) % len(sub.members)
+	sub.phase = phaseIdle
+	sub.announceLeft = 0
 }

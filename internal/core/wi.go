@@ -1,29 +1,3 @@
-// Package core implements the paper's primary contribution: the seamless
-// wireless interconnection fabric for multichip systems.
-//
-// Each wireless interface (WI) is a pair of extra ports on its host switch.
-// The transmit side has one queue per virtual channel (the paper gives
-// every port, "including those with the wireless transceivers", 8 VCs with
-// 16-flit buffers); flow control into the TX queues uses the ordinary
-// credit mechanism. The receive side allocates VCs by packet ID, exactly as
-// the control-packet MAC prescribes: the (DestWI, PktID, NumFlits) 3-tuples
-// — at most one per output VC — let a WI transmit *partial* packets while
-// the receiver demultiplexes flits into the correct VC, preserving wormhole
-// integrity.
-//
-// Two channel models are provided (DESIGN.md §5.1):
-//
-//   - ChannelCrossbar: every WI pair is a direct link; each WI transmits at
-//     most one flit per cycle and each WI receives at most one flit per
-//     cycle (round-robin ingress arbitration). This is the
-//     results-consistent model implied by the paper's reported bandwidth
-//     and latency.
-//   - ChannelExclusive: the literal PHY description — a single shared
-//     medium at the transceiver data rate, granted to one WI at a time by
-//     the MAC (control-packet protocol or whole-packet token baseline).
-//
-// Receivers are power-gated ("sleepy transceivers", after Mondal & Deb
-// [17]) whenever announced traffic is not addressed to them.
 package core
 
 import (
@@ -38,6 +12,10 @@ import (
 type WI struct {
 	Index    int
 	SwitchID sim.SwitchID
+
+	// gx, gy locate the host switch on the global mesh grid; the
+	// spatial-reuse channel assignment zones WIs by these coordinates.
+	gx, gy int
 
 	fb *Fabric
 	sw *noc.Switch

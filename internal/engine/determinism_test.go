@@ -34,6 +34,35 @@ func determinismParams() []Params {
 	exclusive.WarmupCycles = 100
 	exclusive.MeasureCycles = 800
 	exclusive.Channel = config.ChannelExclusive
+	exclusive.WirelessChannels = 1
+
+	// Multi-sub-channel exclusive fabrics: WI groups interleaved by index
+	// and grouped by grid zone, each channel running its own turn machine.
+	partitioned := config.MustXCYM(4, 4, config.ArchWireless)
+	partitioned.Name = "partitioned"
+	partitioned.WarmupCycles = 100
+	partitioned.MeasureCycles = 800
+	partitioned.Channel = config.ChannelExclusive
+	partitioned.ChannelAssign = config.AssignStaticPartition
+	partitioned.WirelessChannels = 2
+
+	spatial := config.MustXCYM(4, 4, config.ArchWireless)
+	spatial.Name = "spatial"
+	spatial.WarmupCycles = 100
+	spatial.MeasureCycles = 800
+	spatial.Channel = config.ChannelExclusive
+	spatial.ChannelAssign = config.AssignSpatialReuse
+	spatial.WirelessChannels = 4
+
+	tokenMulti := config.MustXCYM(4, 4, config.ArchWireless)
+	tokenMulti.Name = "token-multi"
+	tokenMulti.WarmupCycles = 100
+	tokenMulti.MeasureCycles = 800
+	tokenMulti.Channel = config.ChannelExclusive
+	tokenMulti.MAC = config.MACToken
+	tokenMulti.TXBufferFlits = tokenMulti.PacketFlits
+	tokenMulti.ChannelAssign = config.AssignStaticPartition
+	tokenMulti.WirelessChannels = 3
 
 	ber := config.MustXCYM(4, 4, config.ArchWireless)
 	ber.WarmupCycles = 100
@@ -55,6 +84,9 @@ func determinismParams() []Params {
 		{Cfg: wireless, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.002, MemFraction: 0.2}},
 		{Cfg: reads, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.001, MemFraction: 0.5, MemReadFraction: 1.0}},
 		{Cfg: exclusive, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.0003, MemFraction: 0.2}},
+		{Cfg: partitioned, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.0005, MemFraction: 0.2}},
+		{Cfg: spatial, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.0005, MemFraction: 0.2}},
+		{Cfg: tokenMulti, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.0003, MemFraction: 0.2}},
 		{Cfg: ber, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.0005, MemFraction: 0.2}},
 		{Cfg: wired, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.002, MemFraction: 0.2}},
 	}

@@ -59,6 +59,12 @@ type Params struct {
 	// cycle-identical either way (the determinism regression test asserts
 	// it); FullTick exists to keep that claim checkable forever.
 	FullTick bool
+	// LegacySingleChannel swaps the exclusive wireless fabric onto the
+	// retained pre-sub-channel MAC (one shared medium, one global turn
+	// sequence) — the reference path for the K=1 equivalence regression,
+	// mirroring FullTick. Only meaningful with channel_assignment "single"
+	// and wireless_channels 1.
+	LegacySingleChannel bool
 	// BuildWorkers bounds the worker pool used for topology and
 	// routing-table construction: <= 0 means runtime.GOMAXPROCS(0), 1
 	// forces sequential construction. The built system is byte-identical
@@ -107,6 +113,7 @@ type Engine struct {
 	linkActive *sim.ActiveSet
 	epActive   *sim.ActiveSet
 	fullTick   bool
+	legacyMAC  bool
 
 	// pool recycles delivered packets back into traffic generation.
 	pool noc.PacketPool
@@ -195,13 +202,14 @@ func New(p Params) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		cfg:      cfg,
-		graph:    g,
-		tables:   tables,
-		meter:    meter,
-		rng:      sim.NewRand(cfg.Seed),
-		trace:    p.Trace,
-		fullTick: p.FullTick,
+		cfg:       cfg,
+		graph:     g,
+		tables:    tables,
+		meter:     meter,
+		rng:       sim.NewRand(cfg.Seed),
+		trace:     p.Trace,
+		fullTick:  p.FullTick,
+		legacyMAC: p.LegacySingleChannel,
 	}
 	e.coll = stats.NewCollector(cfg.WarmupCycles, cfg.WarmupCycles+cfg.MeasureCycles, cfg.FlitBits)
 	e.genStop = cfg.WarmupCycles + cfg.MeasureCycles
@@ -254,8 +262,12 @@ func (e *Engine) build() error {
 	wiOutPort := make(map[sim.SwitchID]int, len(g.WISwitches))
 	if g.HasWireless() {
 		e.fabric = core.NewFabric(cfg, e.meter, e.rng.Derive("wireless"))
+		if e.legacyMAC {
+			e.fabric.SetLegacySingleChannel()
+		}
 		for _, swID := range g.WISwitches {
-			w := e.fabric.AddWI(e.switches[swID])
+			n := g.Nodes[swID]
+			w := e.fabric.AddWI(e.switches[swID], n.GX, n.GY)
 			wiOutPort[swID] = w.OutPort()
 		}
 	}

@@ -196,6 +196,7 @@ func TestExclusiveChannelEndToEnd(t *testing.T) {
 	for _, mac := range []config.MACMode{config.MACControlPacket, config.MACToken} {
 		cfg := quickCfg(4, config.ArchWireless)
 		cfg.Channel = config.ChannelExclusive
+		cfg.WirelessChannels = 1
 		cfg.MAC = mac
 		if mac == config.MACToken {
 			cfg.TXBufferFlits = cfg.PacketFlits

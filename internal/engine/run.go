@@ -332,9 +332,11 @@ func (e *Engine) results() (*Result, error) {
 }
 
 // linkUtilization derives mean per-class link utilization from the energy
-// meter's flit counts and the topology's link inventory. The wireless class
-// is normalized by the sub-channel budget (its concurrency limit) rather
-// than the WI-pair count.
+// meter's flit counts and the topology's link inventory. The wireless
+// class is normalized by the fabric's actual concurrency budget — the
+// sub-channel cap for the crossbar, the populated sub-channel count for
+// the exclusive model — never by a raw wireless_channels value the fabric
+// cannot realize.
 func (e *Engine) linkUtilization() map[string]float64 {
 	cycles := float64(e.now)
 	if cycles == 0 {
@@ -347,12 +349,7 @@ func (e *Engine) linkUtilization() map[string]float64 {
 		counts[classOf(ed.Kind)] += 2
 	}
 	if e.fabric != nil {
-		ch := e.cfg.WirelessChannels
-		n := len(e.fabric.WIs())
-		if ch <= 0 || ch > n {
-			ch = n
-		}
-		counts[energy.ClassWireless] = float64(ch)
+		counts[energy.ClassWireless] = float64(e.fabric.ConcurrencyBudget())
 	}
 
 	out := make(map[string]float64, len(counts))

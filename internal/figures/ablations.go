@@ -32,6 +32,7 @@ func AblationMAC(o Opts) (*Table, error) {
 	for _, mac := range macs {
 		cfg := xcym(4, config.ArchWireless, o)
 		cfg.Channel = config.ChannelExclusive
+		cfg.WirelessChannels = 1 // the literal single shared medium
 		cfg.MAC = mac
 		if mac == config.MACToken {
 			cfg.TXBufferFlits = cfg.PacketFlits // whole packets must fit
@@ -73,6 +74,9 @@ func AblationChannel(o Opts) (*Table, error) {
 	for _, ch := range channels {
 		cfg := xcym(4, config.ArchWireless, o)
 		cfg.Channel = ch
+		if ch == config.ChannelExclusive {
+			cfg.WirelessChannels = 1 // the literal single shared medium
+		}
 		ps = append(ps, saturation(cfg, 0.2))
 	}
 	rs, err := runBatch(o, ps)

@@ -80,10 +80,14 @@ type Opts struct {
 	// (GOMAXPROCS), 1 runs sequentially. Tables are byte-identical either
 	// way (internal/exp's determinism contract).
 	Workers int
-	// ScaleSizes overrides the system-size ladder of the scale sweep
-	// (chip counts; stacks scale along). Empty selects the default ladder
-	// (4..64 chips, or a three-point ladder under Quick).
+	// ScaleSizes overrides the system-size ladder of the scale sweep and
+	// the channel sweep (chip counts; stacks scale along). Empty selects
+	// the default ladder (4..64 chips, or a three-point ladder under
+	// Quick).
 	ScaleSizes []int
+	// ChannelKs overrides the sub-channel ladder of the channel sweep.
+	// Empty selects K ∈ {1, 2, 4, 8}.
+	ChannelKs []int
 }
 
 func (o Opts) apply(cfg *config.Config) {
@@ -167,13 +171,13 @@ func reductionPct(base, sys float64) float64 {
 }
 
 // Experiments lists every experiment ID in run order: the paper's five
-// figures, the five DESIGN.md ablations, and three extension experiments
-// (hybrid architecture, memory read round trips, and the large-system
-// scale sweep).
+// figures, the five DESIGN.md ablations, and four extension experiments
+// (hybrid architecture, memory read round trips, the large-system scale
+// sweep, and the sub-channel/spatial-reuse sweep).
 func Experiments() []string {
 	return []string{"fig2", "fig3", "fig4", "fig5", "fig6",
 		"mac", "channel", "routing", "sleep", "density",
-		"hybrid", "readrt", "scale"}
+		"hybrid", "readrt", "scale", "channels"}
 }
 
 // Run executes one experiment by ID.
@@ -205,6 +209,8 @@ func Run(id string, o Opts) (*Table, error) {
 		return ExtensionReadRoundTrip(o)
 	case "scale":
 		return ScaleSweep(o)
+	case "channels":
+		return ChannelSweep(o)
 	default:
 		return nil, fmt.Errorf("figures: unknown experiment %q (have %v)", id, Experiments())
 	}

@@ -76,6 +76,20 @@ const (
 	ChannelExclusive = config.ChannelExclusive
 )
 
+// ChannelAssignment selects how wireless interfaces map onto the
+// orthogonal mm-wave sub-channels of the exclusive channel model.
+type ChannelAssignment = config.ChannelAssignment
+
+// Channel assignments. AssignSingle is the single shared medium (requires
+// WirelessChannels == 1 on the exclusive model); AssignStaticPartition
+// interleaves WIs across K sub-channels by index; AssignSpatialReuse
+// groups WIs by package zone so far-apart groups transmit concurrently.
+const (
+	AssignSingle          = config.AssignSingle
+	AssignStaticPartition = config.AssignStaticPartition
+	AssignSpatialReuse    = config.AssignSpatialReuse
+)
+
 // MACMode selects the wireless medium-access protocol.
 type MACMode = config.MACMode
 
