@@ -1,0 +1,161 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"wimc"
+	"wimc/internal/figures"
+)
+
+// The bench-regression gate (-check): measure raw simulator speed and
+// quick-figure wall times, write the measurement JSON, and fail when
+// cycles/s regresses more than the threshold against a committed baseline
+// (a BENCH_PR*.json with a bench_gate section, or a previous -check-out).
+// CI runs it on every push and uploads the JSON as a workflow artifact.
+
+// gateIterations is how many timed runs the gate takes; the best one is
+// compared (minimum-noise estimator on shared CI runners).
+const gateIterations = 5
+
+// benchGate is the machine-performance section shared by the committed
+// baselines and the gate's own output.
+type benchGate struct {
+	// CyclesPerSec is the gated metric: simulated cycles per wall second
+	// on the BenchmarkSimulationThroughput configuration (4C4M wireless,
+	// uniform 0.002 load, 20% memory traffic), best of gateIterations.
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	// FigureWallSec records quick-figure regeneration wall times
+	// (informational, not gated: figure mix changes across PRs).
+	FigureWallSec map[string]float64 `json:"figure_wall_sec,omitempty"`
+	GOMAXPROCS    int                `json:"gomaxprocs,omitempty"`
+	GoVersion     string             `json:"go_version,omitempty"`
+}
+
+// checkReport is what -check writes to -check-out.
+type checkReport struct {
+	BenchGate        benchGate `json:"bench_gate"`
+	Baseline         string    `json:"baseline"`
+	BaselineCycles   float64   `json:"baseline_cycles_per_sec"`
+	ThresholdPct     float64   `json:"threshold_pct"`
+	RegressionPct    float64   `json:"regression_pct"` // positive = slower than baseline
+	Pass             bool      `json:"pass"`
+	MeasuredAtUnixMS int64     `json:"measured_at_unix_ms"`
+}
+
+// runCheck executes the bench-regression gate and returns the process
+// exit code.
+func runCheck(baselinePath, outPath string, thresholdPct float64) int {
+	raw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wimcbench: -check: %v\n", err)
+		return 2
+	}
+	var baseline struct {
+		BenchGate benchGate `json:"bench_gate"`
+	}
+	if err := json.Unmarshal(raw, &baseline); err != nil {
+		fmt.Fprintf(os.Stderr, "wimcbench: -check: parse %s: %v\n", baselinePath, err)
+		return 2
+	}
+	if baseline.BenchGate.CyclesPerSec <= 0 {
+		fmt.Fprintf(os.Stderr, "wimcbench: -check: %s has no bench_gate.cycles_per_sec baseline\n", baselinePath)
+		return 2
+	}
+
+	gate, err := measureGate()
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wimcbench: -check: %v\n", err)
+		return 1
+	}
+
+	regression := 100 * (baseline.BenchGate.CyclesPerSec - gate.CyclesPerSec) /
+		baseline.BenchGate.CyclesPerSec
+	report := checkReport{
+		BenchGate:        gate,
+		Baseline:         baselinePath,
+		BaselineCycles:   baseline.BenchGate.CyclesPerSec,
+		ThresholdPct:     thresholdPct,
+		RegressionPct:    regression,
+		Pass:             regression <= thresholdPct,
+		MeasuredAtUnixMS: time.Now().UnixMilli(),
+	}
+	if err := writeReport(outPath, report); err != nil {
+		fmt.Fprintf(os.Stderr, "wimcbench: -check: %v\n", err)
+		return 1
+	}
+
+	fmt.Printf("bench gate: %.0f cycles/s vs baseline %.0f (%+.1f%%, threshold %.0f%%) -> %s\n",
+		gate.CyclesPerSec, baseline.BenchGate.CyclesPerSec, -regression, thresholdPct,
+		map[bool]string{true: "PASS", false: "FAIL"}[report.Pass])
+	for id, sec := range gate.FigureWallSec {
+		fmt.Printf("bench gate: quick figure %-8s %7.3fs (informational)\n", id, sec)
+	}
+	if !report.Pass {
+		fmt.Fprintf(os.Stderr, "wimcbench: -check: cycles/s regressed %.1f%% (> %.0f%% allowed)\n",
+			regression, thresholdPct)
+		return 1
+	}
+	return 0
+}
+
+// measureGate runs the throughput benchmark and the quick figure benches.
+func measureGate() (benchGate, error) {
+	cfg := wimc.MustXCYM(4, 4, wimc.ArchWireless)
+	cfg.WarmupCycles = 0
+	cfg.MeasureCycles = 2000
+	traffic := wimc.TrafficSpec{Kind: wimc.TrafficUniform, Rate: 0.002, MemFraction: 0.2}
+
+	run := func() (float64, error) {
+		start := time.Now()
+		if _, err := wimc.Run(cfg, traffic); err != nil {
+			return 0, err
+		}
+		return float64(cfg.MeasureCycles) / time.Since(start).Seconds(), nil
+	}
+	if _, err := run(); err != nil { // warmup (allocator, page faults)
+		return benchGate{}, err
+	}
+	best := 0.0
+	for i := 0; i < gateIterations; i++ {
+		cps, err := run()
+		if err != nil {
+			return benchGate{}, err
+		}
+		if cps > best {
+			best = cps
+		}
+	}
+
+	walls := map[string]float64{}
+	for _, id := range []string{"fig2", "channels"} {
+		opts := figures.Opts{Quick: true}
+		if id == "channels" {
+			opts.ScaleSizes = []int{4}
+			opts.ChannelKs = []int{1, 4}
+		}
+		start := time.Now()
+		if _, err := figures.Run(id, opts); err != nil {
+			return benchGate{}, err
+		}
+		walls[id] = time.Since(start).Seconds()
+	}
+
+	return benchGate{
+		CyclesPerSec:  best,
+		FigureWallSec: walls,
+		GOMAXPROCS:    runtime.GOMAXPROCS(0),
+		GoVersion:     runtime.Version(),
+	}, nil
+}
+
+func writeReport(path string, report checkReport) error {
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

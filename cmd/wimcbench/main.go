@@ -6,9 +6,11 @@
 //
 // Usage:
 //
-//	wimcbench [-fig all|fig2|fig3|fig4|fig5|fig6|mac|channel|routing|sleep|density|hybrid|readrt|scale|channels]
+//	wimcbench [-fig all|fig2|fig3|fig4|fig5|fig6|mac|channel|routing|sleep|density|hybrid|readrt|scale|channels|policies]
 //	          [-quick] [-seed N] [-csv DIR] [-parallel=false] [-workers N]
 //	          [-scale-sizes 4,16,64] [-channel-ks 1,2,4,8]
+//	          [-channel-assign spatial-reuse|static-partition] [-mac-policies rotate,skip-empty,...]
+//	          [-check BASELINE.json] [-check-out OUT.json] [-check-threshold 15]
 package main
 
 import (
@@ -20,21 +22,31 @@ import (
 	"strings"
 	"time"
 
+	"wimc/internal/config"
 	"wimc/internal/figures"
 )
 
 func main() {
 	var (
-		fig        = flag.String("fig", "all", "experiment to run (all, fig2..fig6, mac, channel, routing, sleep, density, hybrid, readrt, scale, channels)")
-		quick      = flag.Bool("quick", false, "shortened simulation windows")
-		seed       = flag.Uint64("seed", 0, "override RNG seed (0 = default)")
-		csv        = flag.String("csv", "", "directory to write CSV files into")
-		parallel   = flag.Bool("parallel", true, "fan independent runs out across cores (results identical either way)")
-		workers    = flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
-		scaleSizes = flag.String("scale-sizes", "", "comma-separated chip counts for the scale/channel sweeps (default 4,8,16,32,64; quick 4,16,64)")
-		channelKs  = flag.String("channel-ks", "", "comma-separated sub-channel counts for the channel sweep (default 1,2,4,8)")
+		fig            = flag.String("fig", "all", "experiment to run (all, fig2..fig6, mac, channel, routing, sleep, density, hybrid, readrt, scale, channels, policies)")
+		quick          = flag.Bool("quick", false, "shortened simulation windows")
+		seed           = flag.Uint64("seed", 0, "override RNG seed (0 = default)")
+		csv            = flag.String("csv", "", "directory to write CSV files into")
+		parallel       = flag.Bool("parallel", true, "fan independent runs out across cores (results identical either way)")
+		workers        = flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
+		scaleSizes     = flag.String("scale-sizes", "", "comma-separated chip counts for the scale/channel/policy sweeps (default 4,8,16,32,64; quick 4,16,64)")
+		channelKs      = flag.String("channel-ks", "", "comma-separated sub-channel counts for the channel sweep (default 1,2,4,8)")
+		channelAssign  = flag.String("channel-assign", "", "WI-to-sub-channel assignment for the channel sweep (spatial-reuse, static-partition; default spatial-reuse)")
+		macPolicies    = flag.String("mac-policies", "", "comma-separated arbitration policies for the policy sweep (default rotate,skip-empty,drain-aware,weighted)")
+		checkBaseline  = flag.String("check", "", "bench-regression gate: run the quick throughput bench and fail if cycles/s regresses vs this baseline JSON")
+		checkOut       = flag.String("check-out", "bench_check.json", "where -check writes its measurement JSON")
+		checkThreshold = flag.Float64("check-threshold", 15, "allowed cycles/s regression in percent for -check")
 	)
 	flag.Parse()
+
+	if *checkBaseline != "" {
+		os.Exit(runCheck(*checkBaseline, *checkOut, *checkThreshold))
+	}
 
 	sizes, err := parseSizes(*scaleSizes)
 	if err != nil {
@@ -46,12 +58,29 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wimcbench: -channel-ks: %v\n", err)
 		os.Exit(2)
 	}
+	policies, err := parsePolicies(*macPolicies)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wimcbench: -mac-policies: %v\n", err)
+		os.Exit(2)
+	}
+	switch config.ChannelAssignment(*channelAssign) {
+	case "", config.AssignSpatialReuse, config.AssignStaticPartition:
+	default:
+		fmt.Fprintf(os.Stderr, "wimcbench: -channel-assign: unknown assignment %q (want %s or %s)\n",
+			*channelAssign, config.AssignSpatialReuse, config.AssignStaticPartition)
+		os.Exit(2)
+	}
 
 	ids := figures.Experiments()
 	if *fig != "all" {
 		ids = []string{*fig}
 	}
-	opts := figures.Opts{Quick: *quick, Seed: *seed, Workers: *workers, ScaleSizes: sizes, ChannelKs: ks}
+	opts := figures.Opts{
+		Quick: *quick, Seed: *seed, Workers: *workers,
+		ScaleSizes: sizes, ChannelKs: ks,
+		ChannelAssign: config.ChannelAssignment(*channelAssign),
+		Policies:      policies,
+	}
 	if !*parallel {
 		opts.Workers = 1
 	}
@@ -77,6 +106,23 @@ func main() {
 	if len(ids) > 1 {
 		fmt.Fprintf(os.Stderr, "wimcbench: total    %8.3fs\n", total.Seconds())
 	}
+}
+
+func parsePolicies(s string) ([]config.MACPolicy, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var policies []config.MACPolicy
+	for _, part := range strings.Split(s, ",") {
+		pol := config.MACPolicy(strings.TrimSpace(part))
+		switch pol {
+		case config.PolicyRotate, config.PolicySkipEmpty, config.PolicyDrainAware, config.PolicyWeighted:
+			policies = append(policies, pol)
+		default:
+			return nil, fmt.Errorf("unknown policy %q", part)
+		}
+	}
+	return policies, nil
 }
 
 func parseSizes(s string) ([]int, error) {

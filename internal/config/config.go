@@ -95,6 +95,43 @@ const (
 	MACToken MACMode = "token"
 )
 
+// MACPolicy selects how each exclusive sub-channel arbitrates turns among
+// its member WIs. The paper's MACs rotate round-robin over every member,
+// so idle WIs burn control/token turns and backlogged WIs wait out full
+// rotations; the work-conserving policies spend channel time only where
+// traffic exists.
+type MACPolicy string
+
+// Supported arbitration policies (exclusive channel model).
+const (
+	// PolicyRotate is the paper's fixed round-robin rotation over all
+	// member WIs, idle or not — the default, byte-identical to the
+	// pre-policy fabric (the engine's legacy-equivalence regressions pin
+	// it).
+	PolicyRotate MACPolicy = "rotate"
+	// PolicySkipEmpty keeps an O(1) doubly-linked active-turn queue per
+	// sub-channel: a WI is enqueued when its first TX flit arrives and
+	// only queued WIs are granted turns, so idle members are skipped
+	// without scanning and an empty channel spends nothing.
+	PolicySkipEmpty MACPolicy = "skip-empty"
+	// PolicyDrainAware extends skip-empty for the control-packet MAC:
+	// announcements size receive reservations against the live drain of
+	// the destination, so a turn holder may announce a packet's remaining
+	// flits beyond the instantaneous receive window (and beyond its own TX
+	// buffer) while the receiver keeps draining — full-size packets finish
+	// in one turn instead of one turn per buffer's worth. Unreserved
+	// announcements reserve lazily at transmit time; a turn that stalls
+	// (receiver stopped draining) is cancelled after a bounded wait.
+	PolicyDrainAware MACPolicy = "drain-aware"
+	// PolicyWeighted extends skip-empty with deficit round-robin: a
+	// granted WI accrues a transmission budget proportional to its TX
+	// backlog and keeps consecutive turns until the budget is spent, so
+	// channel time tracks backlog. Budgets are capped by the TX buffer
+	// capacity, which bounds the wait of every other queued member (the
+	// starvation-bound test in internal/core proves the window).
+	PolicyWeighted MACPolicy = "weighted"
+)
+
 // Config is the complete description of one simulated system.
 type Config struct {
 	Name string       `json:"name"`
@@ -156,6 +193,7 @@ type Config struct {
 	Channel           ChannelMode       `json:"channel_mode"`         //
 	MAC               MACMode           `json:"mac_mode"`             //
 	ChannelAssign     ChannelAssignment `json:"channel_assignment"`   // WI-to-sub-channel mapping (exclusive model)
+	MACPolicyMode     MACPolicy         `json:"mac_policy"`           // turn arbitration policy (exclusive model)
 	ControlFlits      int               `json:"control_flits"`        // control packet length in flit-times
 	TXBufferFlits     int               `json:"tx_buffer_flits"`      // WI transmit buffer depth
 	SleepEnabled      bool              `json:"sleep_enabled"`        // sleepy transceivers [17]
@@ -232,6 +270,7 @@ func Default() Config {
 		Channel:           ChannelCrossbar,
 		MAC:               MACControlPacket,
 		ChannelAssign:     AssignSingle,
+		MACPolicyMode:     PolicyRotate,
 		ControlFlits:      1,
 		TXBufferFlits:     16,
 		SleepEnabled:      true,
@@ -399,6 +438,11 @@ func (c Config) Validate() error {
 	default:
 		return fmt.Errorf("config: unknown channel assignment %q", c.ChannelAssign)
 	}
+	switch c.MACPolicyMode {
+	case PolicyRotate, PolicySkipEmpty, PolicyDrainAware, PolicyWeighted:
+	default:
+		return fmt.Errorf("config: unknown MAC policy %q", c.MACPolicyMode)
+	}
 	type bound struct {
 		name string
 		v    int
@@ -462,6 +506,12 @@ func (c Config) Validate() error {
 		}
 		if c.Channel == ChannelExclusive && c.ChannelAssign == AssignSingle && c.WirelessChannels != 1 {
 			return fmt.Errorf("config: wireless_channels = %d is dead on a single exclusive channel; set channel_assignment to %q or %q (or wireless_channels to 1)", c.WirelessChannels, AssignStaticPartition, AssignSpatialReuse)
+		}
+		if c.MACPolicyMode != PolicyRotate && c.Channel != ChannelExclusive {
+			return fmt.Errorf("config: mac_policy %q applies only to the exclusive channel model (the crossbar has no turn schedule)", c.MACPolicyMode)
+		}
+		if c.MACPolicyMode == PolicyDrainAware && c.MAC != MACControlPacket {
+			return fmt.Errorf("config: mac_policy %q requires the control-packet MAC (the token MAC has no announcements to size)", PolicyDrainAware)
 		}
 		if c.WirelessGbps <= 0 {
 			return fmt.Errorf("config: wireless_gbps must be positive, got %v", c.WirelessGbps)

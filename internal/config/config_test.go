@@ -182,6 +182,15 @@ func TestValidationErrors(t *testing.T) {
 			c.WirelessChannels = 5
 		}},
 		{"assignment on crossbar", func(c *Config) { c.ChannelAssign = AssignSpatialReuse }},
+		{"bad mac policy", func(c *Config) { c.MACPolicyMode = "psychic-priority" }},
+		{"policy on crossbar", func(c *Config) { c.MACPolicyMode = PolicySkipEmpty }},
+		{"drain-aware on token MAC", func(c *Config) {
+			c.Channel = ChannelExclusive
+			c.WirelessChannels = 1
+			c.MAC = MACToken
+			c.TXBufferFlits = c.PacketFlits
+			c.MACPolicyMode = PolicyDrainAware
+		}},
 	}
 	for _, tc := range mutations {
 		t.Run(tc.name, func(t *testing.T) {
@@ -203,6 +212,31 @@ func TestMultiChannelAssignmentsValid(t *testing.T) {
 			cfg.WirelessChannels = k
 			if err := cfg.Validate(); err != nil {
 				t.Fatalf("%s K=%d rejected: %v", assign, k, err)
+			}
+		}
+	}
+}
+
+// TestMACPoliciesValid covers the accepted (policy, MAC) matrix on the
+// exclusive channel: every policy with the control-packet MAC, and the
+// queue-scheduling policies (which need no announcements) with the token
+// MAC.
+func TestMACPoliciesValid(t *testing.T) {
+	for _, mac := range []MACMode{MACControlPacket, MACToken} {
+		for _, pol := range []MACPolicy{PolicyRotate, PolicySkipEmpty, PolicyDrainAware, PolicyWeighted} {
+			if mac == MACToken && pol == PolicyDrainAware {
+				continue // rejected pair, covered by TestValidationErrors
+			}
+			cfg := MustXCYM(4, 4, ArchWireless)
+			cfg.Channel = ChannelExclusive
+			cfg.WirelessChannels = 1
+			cfg.MAC = mac
+			cfg.MACPolicyMode = pol
+			if mac == MACToken {
+				cfg.TXBufferFlits = cfg.PacketFlits
+			}
+			if err := cfg.Validate(); err != nil {
+				t.Fatalf("%s/%s rejected: %v", mac, pol, err)
 			}
 		}
 	}

@@ -54,6 +54,47 @@
 // and the engine's equivalence regression asserts the K=1 fabric is
 // byte-identical to it for both MAC protocols.
 //
+// # Turn arbitration policies
+//
+// Within a sub-channel, config.MACPolicyMode selects how turns are
+// arbitrated among the member WIs (policy.go):
+//
+//   - rotate: the paper's fixed round-robin over every member, idle or
+//     not — the default, byte-identical to the pre-policy fabric (pinned
+//     by the legacy-equivalence and determinism regressions).
+//   - skip-empty: each sub-channel keeps an O(1) doubly-linked
+//     active-turn queue holding exactly the members with buffered TX
+//     flits (enqueued on first flit arrival in WI.Accept, re-enqueued at
+//     the tail after a turn while backlogged). Idle WIs are never granted
+//     turns and an idle channel broadcasts nothing — with the whole
+//     fabric idle, the engine skips Launch entirely and settles the
+//     accounting through CatchUp, like the crossbar.
+//   - drain-aware: skip-empty plus announcements sized against the
+//     receiver's live drain estimate (credits returned per
+//     drainWindowCycles). A turn may announce a packet's remaining flits
+//     beyond the instantaneous receive window and beyond its own TX
+//     buffer — the (DestWI, PktID, NumFlits) 3-tuple already names the
+//     whole transfer — with unreserved flits reserving lazily at transmit
+//     time as the receiver drains, so a full-size packet finishes in one
+//     turn instead of one turn per buffer's worth. A turn that stops
+//     moving (receiver stalled, flits stuck upstream) cancels its
+//     unreserved remainder after drainStallLimit wasted transmit
+//     opportunities, which keeps the policy deadlock-free by the same
+//     bounded-stall argument as the token MAC.
+//   - weighted: skip-empty plus deficit round-robin — a granted member
+//     accrues a transmission budget proportional to its TX backlog and
+//     retains consecutive turns while it has budget, backlog and forward
+//     progress. Budgets are capped by the TX buffer capacity, bounding
+//     every queued member's wait (the starvation-bound test proves the
+//     window).
+//
+// Fabric.CheckMACInvariants recomputes the announce accounting and
+// turn-queue consistency from the underlying queues — the fabric-side
+// sibling of noc.Switch.CheckPipelineInvariants — and the engine folds it
+// into its every-cycle invariant check; the historical "nothing announced
+// remains" fallthrough is a counted AnnounceUnderflows violation, never a
+// silent zero.
+//
 // Receivers are power-gated ("sleepy transceivers", after Mondal & Deb
 // [17]) whenever announced traffic is not addressed to them; every WI
 // wakes for control broadcasts, so higher K trades a higher awake fraction

@@ -62,6 +62,16 @@ type Fabric struct {
 	chOf     []int
 	legacy   *legacyMAC
 
+	// Work-conserving arbitration (config.MACPolicyMode != PolicyRotate):
+	// turnQueue enables the per-sub-channel active-turn queues, weighted
+	// the deficit accounting of the weighted policy, and busySubs counts
+	// sub-channels currently mid-turn (not phaseIdle) — with turn queues
+	// an exclusive fabric with no buffered flits and no open turns
+	// provably does nothing, so LaunchNeeded can skip it.
+	turnQueue bool
+	weighted  bool
+	busySubs  int
+
 	// Statistics.
 	ControlPackets int64
 	TokenPasses    int64
@@ -69,6 +79,15 @@ type Fabric struct {
 	AwakeCycles    int64
 	SleepCycles    int64
 	Launched       int64
+	// DrainExtended counts flits announced beyond the instantaneous
+	// receive window (drain-aware policy); TurnCancels counts turns cut
+	// short because the receiver stopped draining; AnnounceUnderflows
+	// counts MAC invariant violations (announceLeft outliving the
+	// announced flits) — always zero on a healthy fabric, checked by
+	// CheckMACInvariants.
+	DrainExtended      int64
+	TurnCancels        int64
+	AnnounceUnderflows int64
 }
 
 // subChannel is one orthogonal mm-wave sub-channel of the exclusive
@@ -90,6 +109,61 @@ type subChannel struct {
 	announceDests map[int]bool
 	tokenPktID    uint64 // token MAC: packet granted this turn
 	tokenQueue    int    // token MAC: TX queue holding the granted packet
+
+	// Active-turn queue (work-conserving policies): an intrusive doubly
+	// linked list over member slots holding exactly the members with
+	// buffered TX flits, so turn selection skips idle WIs in O(1). qHead /
+	// qTail are member slots, -1 when empty.
+	qNext, qPrev []int
+	inQueue      []bool
+	qHead, qTail int
+
+	// Weighted (deficit round-robin) state: the current holder's remaining
+	// transmission budget and the flits it moved this turn (retention
+	// requires forward progress, which bounds starvation).
+	deficit int
+	turnTx  int
+
+	// Drain-aware state: consecutive transmit opportunities the open turn
+	// wasted because no announced flit could move (receiver not draining /
+	// flits still in flight); the turn is cancelled at drainStallLimit.
+	drainStall int
+}
+
+// enqueue appends member slot to the active-turn queue (idempotent, O(1)).
+func (sub *subChannel) enqueue(slot int) {
+	if sub.inQueue[slot] {
+		return
+	}
+	sub.inQueue[slot] = true
+	sub.qNext[slot] = -1
+	sub.qPrev[slot] = sub.qTail
+	if sub.qTail >= 0 {
+		sub.qNext[sub.qTail] = slot
+	} else {
+		sub.qHead = slot
+	}
+	sub.qTail = slot
+}
+
+// dequeue unlinks member slot from the active-turn queue (idempotent, O(1)).
+func (sub *subChannel) dequeue(slot int) {
+	if !sub.inQueue[slot] {
+		return
+	}
+	sub.inQueue[slot] = false
+	prev, next := sub.qPrev[slot], sub.qNext[slot]
+	if prev >= 0 {
+		sub.qNext[prev] = next
+	} else {
+		sub.qHead = next
+	}
+	if next >= 0 {
+		sub.qPrev[next] = prev
+	} else {
+		sub.qTail = prev
+	}
+	sub.qNext[slot], sub.qPrev[slot] = -1, -1
 }
 
 // NewFabric constructs the wireless fabric. WIs are added afterwards with
@@ -192,11 +266,36 @@ func (fb *Fabric) ensureChannels() {
 		fb.subs[i] = &subChannel{
 			bucket:        sim.NewTokenBucket(fb.chanRate),
 			announceDests: make(map[int]bool),
+			qHead:         -1,
+			qTail:         -1,
 		}
 	}
 	for i, w := range fb.wis {
 		sub := fb.subs[fb.chOf[i]]
+		w.sub = sub
+		w.subSlot = len(sub.members)
 		sub.members = append(sub.members, w)
+	}
+	// Work-conserving policies: build the active-turn queues, seeding them
+	// with any member that buffered flits before the first Launch (bare
+	// harnesses; the engine always launches before flits can arrive).
+	fb.turnQueue = fb.cfg.MACPolicyMode != config.PolicyRotate && fb.cfg.MACPolicyMode != ""
+	fb.weighted = fb.cfg.MACPolicyMode == config.PolicyWeighted
+	if fb.turnQueue {
+		for _, sub := range fb.subs {
+			n := len(sub.members)
+			sub.qNext = make([]int, n)
+			sub.qPrev = make([]int, n)
+			sub.inQueue = make([]bool, n)
+			for i := range sub.qNext {
+				sub.qNext[i], sub.qPrev[i] = -1, -1
+			}
+			for slot, w := range sub.members {
+				if w.txLen > 0 {
+					sub.enqueue(slot)
+				}
+			}
+		}
 	}
 }
 
@@ -294,16 +393,23 @@ func (fb *Fabric) WIBySwitch(id sim.SwitchID) (*WI, bool) {
 }
 
 // LaunchNeeded reports whether Launch can make progress or mutate protocol
-// state this cycle. The exclusive-channel MAC runs its turn machinery (and
-// spends control-packet energy) continuously, so it must be ticked every
-// cycle; the crossbar only arbitrates when some WI has a flit buffered —
-// an idle crossbar Launch would merely rotate rrDst and count sleep
-// cycles, which CatchUp reproduces in O(1) when the fabric wakes.
+// state this cycle. The rotating exclusive MAC runs its turn machinery
+// (and spends control-packet energy) continuously, so it must be ticked
+// every cycle; under the work-conserving policies an exclusive fabric with
+// no buffered TX flits and no open turn provably does nothing (turns are
+// granted only to queued members, and a queued member holds flits), so —
+// like the crossbar — idle cycles are settled in O(1) by CatchUp. The
+// crossbar only arbitrates when some WI has a flit buffered; an idle
+// crossbar Launch would merely rotate rrDst and count sleep cycles, which
+// CatchUp reproduces when the fabric wakes.
 func (fb *Fabric) LaunchNeeded() bool {
 	if len(fb.wis) < 2 {
 		return false
 	}
 	if fb.cfg.Channel == config.ChannelExclusive {
+		if fb.legacy == nil && fb.subs != nil && fb.turnQueue {
+			return fb.txTotal > 0 || fb.busySubs > 0
+		}
 		return true
 	}
 	return fb.txTotal > 0

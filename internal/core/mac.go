@@ -49,7 +49,10 @@ func (fb *Fabric) launchExclusive(now sim.Cycle) {
 // it spent the cycle in a control broadcast (every receiver must wake).
 func (fb *Fabric) launchSub(sub *subChannel, now sim.Cycle) bool {
 	if sub.phase == phaseIdle {
-		fb.startTurn(sub)
+		if !fb.selectTurn(sub) {
+			return false // work-conserving: no member has traffic
+		}
+		fb.startTurn(sub, now)
 	}
 
 	switch sub.phase {
@@ -74,10 +77,13 @@ func (fb *Fabric) launchSub(sub *subChannel, now sim.Cycle) bool {
 		if !sub.bucket.CanSpendAt(now) {
 			return false
 		}
-		switch fb.cfg.MAC {
-		case config.MACControlPacket:
+		switch {
+		case fb.cfg.MAC == config.MACControlPacket &&
+			fb.cfg.MACPolicyMode == config.PolicyDrainAware:
+			fb.dataStepDrainAware(sub, now, src)
+		case fb.cfg.MAC == config.MACControlPacket:
 			fb.dataStepControlPacket(sub, now, src)
-		case config.MACToken:
+		case fb.cfg.MAC == config.MACToken:
 			fb.dataStepToken(sub, now, src)
 		}
 		if sub.announceLeft <= 0 {
@@ -90,9 +96,12 @@ func (fb *Fabric) launchSub(sub *subChannel, now sim.Cycle) bool {
 // startTurn begins the turn of the sub-channel's current member: broadcast
 // the control packet (or pass the token) and reserve receive space for the
 // announced flits.
-func (fb *Fabric) startTurn(sub *subChannel) {
+func (fb *Fabric) startTurn(sub *subChannel, now sim.Cycle) {
 	src := sub.members[sub.turn]
 	sub.announceLeft = 0
+	sub.turnTx = 0
+	sub.drainStall = 0
+	fb.busySubs++
 	for k := range sub.announceDests {
 		delete(sub.announceDests, k)
 	}
@@ -102,7 +111,11 @@ func (fb *Fabric) startTurn(sub *subChannel) {
 
 	switch fb.cfg.MAC {
 	case config.MACControlPacket:
-		fb.announceControlPacket(sub, src)
+		if fb.cfg.MACPolicyMode == config.PolicyDrainAware {
+			fb.announceDrainAware(sub, src, now)
+		} else {
+			fb.announceControlPacket(sub, src)
+		}
 		sub.controlLeft = fb.cfg.ControlFlits
 		fb.ControlPackets++
 		// Control broadcast energy (protocol overhead, not packet-attributed).
@@ -218,11 +231,18 @@ func (fb *Fabric) dataStepControlPacket(sub *subChannel, now sim.Cycle, src *WI)
 		if fb.transmit(now, src, q) {
 			src.announced[q]--
 			sub.announceLeft--
+			sub.turnTx++
+			if fb.weighted {
+				sub.deficit--
+			}
 		}
 		src.rrTx = (q + 1) % nq
 		return
 	}
-	// Defensive: nothing announced remains (should not happen).
+	// Invariant violation: announceLeft outlived the per-queue announced
+	// counters. Counted — never silently absorbed — and reported by
+	// CheckMACInvariants; zeroing keeps the turn machine live.
+	fb.AnnounceUnderflows++
 	sub.announceLeft = 0
 }
 
@@ -252,12 +272,33 @@ func (fb *Fabric) dataStepToken(sub *subChannel, now sim.Cycle, src *WI) {
 	}
 	if fb.transmit(now, src, q) {
 		sub.announceLeft--
+		sub.turnTx++
+		if fb.weighted {
+			sub.deficit--
+		}
 	}
 }
 
-// advanceTurn hands the sub-channel to the next member in sequence.
+// advanceTurn closes the current turn and hands the sub-channel to the
+// next member under the configured arbitration policy: the fixed rotation,
+// the active-turn queue (skip-empty / drain-aware), or deficit round-robin
+// retention (weighted). See policy.go for the queue mechanics.
 func (fb *Fabric) advanceTurn(sub *subChannel) {
-	sub.turn = (sub.turn + 1) % len(sub.members)
+	switch fb.cfg.MACPolicyMode {
+	case config.PolicySkipEmpty, config.PolicyDrainAware:
+		fb.requeueTurn(sub)
+	case config.PolicyWeighted:
+		// Retain the holder while it has budget, backlog and made forward
+		// progress this turn (a fruitless turn always rotates, which
+		// bounds every queued member's wait).
+		if sub.deficit <= 0 || sub.members[sub.turn].txLen == 0 || sub.turnTx == 0 {
+			sub.deficit = 0
+			fb.requeueTurn(sub)
+		}
+	default: // PolicyRotate
+		sub.turn = (sub.turn + 1) % len(sub.members)
+	}
 	sub.phase = phaseIdle
 	sub.announceLeft = 0
+	fb.busySubs--
 }

@@ -216,7 +216,10 @@ func (fb *Fabric) dataStepControlPacketLegacy(now sim.Cycle, src *WI) {
 		src.rrTx = (q + 1) % nq
 		return
 	}
-	// Defensive: nothing announced remains (should not happen).
+	// Invariant violation: announceLeft outlived the per-queue announced
+	// counters. Counted — never silently absorbed — and reported by
+	// CheckMACInvariants; zeroing keeps the turn machine live.
+	fb.AnnounceUnderflows++
 	l.announceLeft = 0
 }
 

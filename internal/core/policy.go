@@ -1,0 +1,381 @@
+package core
+
+import (
+	"fmt"
+
+	"wimc/internal/config"
+	"wimc/internal/sim"
+)
+
+// This file implements the work-conserving MAC arbitration policies
+// (config.MACPolicyMode) layered on the per-sub-channel exclusive MAC:
+//
+//   - skip-empty: turns are granted from an O(1) active-turn queue holding
+//     exactly the members with buffered TX flits (enqueued on first flit
+//     arrival, WI.Accept), so idle WIs are skipped without scanning and an
+//     idle channel broadcasts nothing.
+//   - drain-aware: control-packet announcements size receive reservations
+//     against the destination's live drain estimate, letting a turn holder
+//     announce a packet's remaining flits beyond the instantaneous receive
+//     window (and beyond its own TX buffer); unreserved announcements
+//     reserve lazily at transmit time, and a stalled turn is cancelled
+//     after a bounded wait so the channel is never held hostage.
+//   - weighted: deficit round-robin on the active-turn queue — a granted
+//     member accrues a budget proportional to its TX backlog and retains
+//     consecutive turns while it has budget, backlog and forward progress.
+//
+// PolicyRotate takes none of these paths; the rotating MAC in mac.go is
+// byte-identical to the pre-policy fabric (the engine's equivalence and
+// determinism regressions pin it).
+
+// drainWindowCycles is the sampling window of the per-WI drain-rate
+// estimate: a destination counts returned credits per window, and the
+// drain-aware policy treats it as draining only while the last credit is
+// at most one window old.
+const drainWindowCycles = 64
+
+// drainStallLimit is the number of consecutive wasted transmit
+// opportunities (channel tokens available, no announced flit movable)
+// after which a drain-aware turn cancels its unreserved remainder. It
+// bounds how long an optimistic announcement can hold the sub-channel
+// when the receiver stops draining or the announced flits stall upstream,
+// which keeps the policy deadlock-free by the same argument as the token
+// MAC's bounded stalls.
+const drainStallLimit = drainWindowCycles
+
+// selectTurn picks the member whose turn starts next, reporting false when
+// the sub-channel should stay idle. The rotating policy always grants
+// sub.turn (advanceTurn already rotated it); the work-conserving policies
+// grant the head of the active-turn queue, so a channel with no backlogged
+// member spends nothing.
+func (fb *Fabric) selectTurn(sub *subChannel) bool {
+	switch fb.cfg.MACPolicyMode {
+	case config.PolicySkipEmpty, config.PolicyDrainAware:
+		if sub.qHead < 0 {
+			return false
+		}
+		sub.turn = sub.qHead
+		return true
+	case config.PolicyWeighted:
+		if sub.qHead < 0 {
+			return false
+		}
+		sub.turn = sub.qHead
+		if sub.deficit <= 0 {
+			// Fresh grant: budget proportional to the member's backlog
+			// (bounded by its TX buffer capacity, which bounds how long it
+			// can hold the channel).
+			sub.deficit = sub.members[sub.turn].txLen
+		}
+		return true
+	default: // PolicyRotate
+		return true
+	}
+}
+
+// requeueTurn removes the finished holder from the active-turn queue and
+// re-enqueues it at the tail when it still has backlog (so a backlogged
+// member waits at most one full queue round for its next turn).
+func (fb *Fabric) requeueTurn(sub *subChannel) {
+	slot := sub.turn
+	sub.dequeue(slot)
+	if sub.members[slot].txLen > 0 {
+		sub.enqueue(slot)
+	}
+}
+
+// drainEstimate returns how many flits dst can be expected to drain from
+// its receive buffers over the next horizon cycles, based on the credits
+// it returned recently: zero when the last credit is older than one
+// sampling window, else the recent per-window rate scaled to the horizon.
+func (fb *Fabric) drainEstimate(dst *WI, now sim.Cycle, horizon sim.Cycle) int {
+	if now-dst.lastDrain > drainWindowCycles {
+		return 0
+	}
+	rate := dst.drainRatePrev
+	if dst.drainWinCount > rate {
+		rate = dst.drainWinCount
+	}
+	return int(sim.Cycle(rate) * horizon / drainWindowCycles)
+}
+
+// cyclesPerFlit returns the whole cycles one flit-time occupies on a
+// sub-channel (the transmit-horizon unit of the drain estimate).
+func (fb *Fabric) cyclesPerFlit() sim.Cycle {
+	if fb.chanRate <= 0 {
+		return 1
+	}
+	cpf := sim.Cycle((sim.RateOne + fb.chanRate - 1) / fb.chanRate)
+	if cpf < 1 {
+		cpf = 1
+	}
+	return cpf
+}
+
+// announceDrainAware reserves the longest instantaneous prefix of every TX
+// queue exactly like announceControlPacket, then — when a queue's scan
+// stopped at the receive window, or drained the whole queue while the
+// packet's tail is still in flight from the host switch — keeps announcing
+// that packet's remaining flits without reservations, sized against the
+// destination's drain estimate. Unreserved flits reserve lazily in
+// dataStepDrainAware as credits return.
+func (fb *Fabric) announceDrainAware(sub *subChannel, src *WI, now sim.Cycle) {
+	tuples := make(map[uint64]bool, fb.cfg.VCs)
+	for q := range src.txVC {
+		queue := src.txVC[q]
+	scan:
+		for i := range queue {
+			e := &queue[i]
+			f := e.f
+			if !tuples[f.Pkt.ID] && len(tuples) >= fb.cfg.VCs {
+				break // 3-tuple budget exhausted for this control packet
+			}
+			var vc int
+			if f.IsHead() {
+				vc = e.dest.allocRxVC(f.Pkt.ID)
+				if vc < 0 {
+					break scan // destination has no free VC
+				}
+			} else {
+				vc = e.dest.rxVCFor(f.Pkt.ID)
+				if vc < 0 {
+					panic(fmt.Sprintf("core: WI %d announcing body flit of pkt %d with no rx VC",
+						src.Index, f.Pkt.ID))
+				}
+			}
+			if e.dest.space[vc] <= 0 {
+				// Receive window exhausted mid-packet: announce the rest of
+				// this packet against the receiver's drain instead.
+				fb.extendAnnouncement(sub, src, q, e.dest, f.Pkt.ID, tuples,
+					int(f.Pkt.NumFlits)-int(f.Seq), now)
+				break scan
+			}
+			e.dest.space[vc]--
+			e.reserved = true
+			tuples[f.Pkt.ID] = true
+			sub.announceDests[e.dest.Index] = true
+			src.announced[q]++
+			sub.announceLeft++
+			if f.IsTail() {
+				continue // packet complete; the scan moves to the next one
+			}
+			if i == len(queue)-1 {
+				// Whole queue reserved but the packet's tail is still in
+				// flight from the host switch: announce the remainder so the
+				// transfer can finish within this turn while flits stream in.
+				fb.extendAnnouncement(sub, src, q, e.dest, f.Pkt.ID, tuples,
+					int(f.Pkt.NumFlits)-int(f.Seq)-1, now)
+			}
+		}
+	}
+}
+
+// extendAnnouncement announces up to remaining unreserved flits of one
+// packet on TX queue q, admitting the k-th extra flit only while the
+// destination's drain estimate over the turn's transmit horizon covers it.
+// The 3-tuple already carries the packet's flit count, so the extension
+// costs no extra control space.
+func (fb *Fabric) extendAnnouncement(sub *subChannel, src *WI, q int, dst *WI,
+	pktID uint64, tuples map[uint64]bool, remaining int, now sim.Cycle) {
+	if remaining <= 0 {
+		return
+	}
+	if !tuples[pktID] && len(tuples) >= fb.cfg.VCs {
+		return // no tuple space left to name this packet
+	}
+	cpf := fb.cyclesPerFlit()
+	extra := 0
+	for extra < remaining {
+		horizon := cpf * sim.Cycle(sub.announceLeft+1)
+		if fb.drainEstimate(dst, now, horizon) < extra+1 {
+			break
+		}
+		extra++
+		src.announced[q]++
+		sub.announceLeft++
+	}
+	if extra == 0 {
+		return
+	}
+	tuples[pktID] = true
+	sub.announceDests[dst.Index] = true
+	fb.DrainExtended += int64(extra)
+}
+
+// dataStepDrainAware transmits the next announced flit, round-robin over
+// the TX queues with announced flits remaining. Unlike the strict variant,
+// announced flits may be unreserved (reserve now if the receiver drained)
+// or still in flight from the host switch (skip the queue this cycle); a
+// turn that wastes drainStallLimit consecutive transmit opportunities
+// cancels its unreserved remainder.
+func (fb *Fabric) dataStepDrainAware(sub *subChannel, now sim.Cycle, src *WI) {
+	nq := len(src.txVC)
+	for k := 0; k < nq; k++ {
+		q := (src.rrTx + k) % nq
+		if src.announced[q] == 0 {
+			continue
+		}
+		if len(src.txVC[q]) == 0 {
+			continue // announced flits still in flight from the switch
+		}
+		e := &src.txVC[q][0]
+		if !e.reserved {
+			vc := e.dest.rxVCFor(e.f.Pkt.ID)
+			if vc < 0 {
+				panic(fmt.Sprintf("core: WI %d announced flit of pkt %d has no rx VC",
+					src.Index, e.f.Pkt.ID))
+			}
+			if e.dest.space[vc] <= 0 {
+				continue // receiver has not drained yet; try another queue
+			}
+			e.dest.space[vc]--
+			e.reserved = true
+		}
+		if !sub.bucket.TrySpendAt(now) {
+			return
+		}
+		if fb.transmit(now, src, q) {
+			src.announced[q]--
+			sub.announceLeft--
+			sub.turnTx++
+			if fb.weighted {
+				sub.deficit--
+			}
+		}
+		src.rrTx = (q + 1) % nq
+		sub.drainStall = 0
+		return
+	}
+	if sub.announceLeft <= 0 {
+		// Nothing was announced in the first place (the defensive underflow
+		// of the strict variant cannot arise here: announceLeft drives the
+		// loop and stays in lockstep with the announced counters).
+		return
+	}
+	// A transmit opportunity wasted: every announced queue is either empty
+	// (flits in flight) or blocked on receiver space.
+	sub.drainStall++
+	if sub.drainStall >= drainStallLimit {
+		fb.cancelTurnRemainder(sub, src)
+		sub.drainStall = 0
+	}
+}
+
+// cancelTurnRemainder drops the unreserved remainder of a stalled
+// drain-aware turn: per queue, only the contiguous reserved prefix of the
+// announced flits stays announced (those transmit unconditionally, so the
+// turn terminates), and the optimistic tail is un-announced — its flits
+// are re-announced in a later turn once they arrive or the receiver
+// resumes draining.
+func (fb *Fabric) cancelTurnRemainder(sub *subChannel, src *WI) {
+	for q := range src.txVC {
+		if src.announced[q] == 0 {
+			continue
+		}
+		keep := 0
+		for i := 0; i < len(src.txVC[q]) && i < src.announced[q]; i++ {
+			if !src.txVC[q][i].reserved {
+				break
+			}
+			keep++
+		}
+		sub.announceLeft -= src.announced[q] - keep
+		src.announced[q] = keep
+	}
+	fb.TurnCancels++
+}
+
+// CheckMACInvariants recomputes the exclusive MAC's incrementally
+// maintained protocol state and reports the first drift — the fabric-side
+// sibling of noc.Switch.CheckPipelineInvariants (test and validation hook;
+// the engine folds it into Engine.CheckPipelineInvariants):
+//
+//	AnnounceUnderflows == 0 (the dataStep fallthrough never fired)
+//	busySubs == #sub-channels mid-turn (the LaunchNeeded skip predicate)
+//	announceLeft == Σ announced[q] of the turn holder (control-packet MAC)
+//	phaseIdle ⇒ announceLeft == 0
+//	turn-queue membership ⇔ member has buffered TX flits (queue policies)
+//	queue links form a consistent doubly-linked list
+func (fb *Fabric) CheckMACInvariants() error {
+	if fb.AnnounceUnderflows > 0 {
+		return fmt.Errorf("core: %d announce underflows: announceLeft outlived the announced flits",
+			fb.AnnounceUnderflows)
+	}
+	busy := 0
+	for _, sub := range fb.subs {
+		if sub.phase != phaseIdle {
+			busy++
+		}
+	}
+	if fb.legacy == nil && fb.busySubs != busy {
+		return fmt.Errorf("core: busySubs counter %d, %d sub-channels mid-turn", fb.busySubs, busy)
+	}
+	if l := fb.legacy; l != nil {
+		if l.phase == phaseIdle && l.announceLeft != 0 {
+			return fmt.Errorf("core: legacy MAC idle with announceLeft %d", l.announceLeft)
+		}
+		if fb.cfg.MAC == config.MACControlPacket && l.phase != phaseIdle {
+			if sum := sumAnnounced(fb.wis[l.turn]); sum != l.announceLeft {
+				return fmt.Errorf("core: legacy MAC announceLeft %d, holder announces %d",
+					l.announceLeft, sum)
+			}
+		}
+		return nil
+	}
+	for ci, sub := range fb.subs {
+		if sub.phase == phaseIdle && sub.announceLeft != 0 {
+			return fmt.Errorf("core: sub-channel %d idle with announceLeft %d", ci, sub.announceLeft)
+		}
+		if fb.cfg.MAC == config.MACControlPacket && sub.phase != phaseIdle {
+			if sum := sumAnnounced(sub.members[sub.turn]); sum != sub.announceLeft {
+				return fmt.Errorf("core: sub-channel %d announceLeft %d, holder WI %d announces %d",
+					ci, sub.announceLeft, sub.members[sub.turn].Index, sum)
+			}
+		}
+		if !fb.turnQueue {
+			continue
+		}
+		reach := 0
+		for slot := sub.qHead; slot >= 0; slot = sub.qNext[slot] {
+			if !sub.inQueue[slot] {
+				return fmt.Errorf("core: sub-channel %d queue reaches unlinked slot %d", ci, slot)
+			}
+			if next := sub.qNext[slot]; next >= 0 && sub.qPrev[next] != slot {
+				return fmt.Errorf("core: sub-channel %d queue links broken at slot %d", ci, slot)
+			}
+			if reach++; reach > len(sub.members) {
+				return fmt.Errorf("core: sub-channel %d queue cycles", ci)
+			}
+		}
+		holder := -1
+		if sub.phase != phaseIdle {
+			holder = sub.turn
+		}
+		for slot, w := range sub.members {
+			// A mid-turn drain-aware holder may have drained its TX buffer
+			// while announced flits are still in flight from its switch; it
+			// stays queued until its turn closes. Every other member is
+			// queued exactly while it holds TX flits.
+			if sub.inQueue[slot] != (w.txLen > 0) && !(slot == holder && sub.inQueue[slot]) {
+				return fmt.Errorf("core: sub-channel %d slot %d (WI %d) queued=%v with %d TX flits",
+					ci, slot, w.Index, sub.inQueue[slot], w.txLen)
+			}
+			if sub.inQueue[slot] {
+				reach--
+			}
+		}
+		if reach != 0 {
+			return fmt.Errorf("core: sub-channel %d queue membership flags drifted from links", ci)
+		}
+	}
+	return nil
+}
+
+// sumAnnounced totals a WI's per-queue announced counters.
+func sumAnnounced(w *WI) int {
+	sum := 0
+	for _, n := range w.announced {
+		sum += n
+	}
+	return sum
+}

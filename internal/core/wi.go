@@ -34,12 +34,28 @@ type WI struct {
 	// Exclusive-MAC announcement state: flits announced per TX queue.
 	announced []int
 
+	// Exclusive-MAC sub-channel membership (set by ensureChannels): the
+	// transmit sub-channel and this WI's slot in its member list — the
+	// handle the work-conserving turn queues index by.
+	sub     *subChannel
+	subSlot int
+
 	// Receive side: per-VC state mirrored by the fabric (credit broadcasts
 	// piggyback on control packets, so every transmitter shares this view).
 	pktVC   map[uint64]int // PktID -> allocated input VC
 	vcInUse []bool
 	space   []int // free buffer slots per input VC, minus in-flight flits
 	rrSrc   int   // ingress round-robin pointer (crossbar mode)
+
+	// Receive-drain tracking for the drain-aware policy: lastDrain is the
+	// last cycle this WI returned a credit (its host switch freed a buffer
+	// slot), and the window counters estimate the recent drain rate in
+	// flits per drainWindowCycles. Maintained unconditionally (cheap, no
+	// result effect); read only under config.PolicyDrainAware.
+	lastDrain     sim.Cycle
+	drainWinStart sim.Cycle
+	drainWinCount int
+	drainRatePrev int // flits drained in the previous completed window
 
 	// Statistics.
 	TxFlits     int64
@@ -91,6 +107,11 @@ func (w *WI) Accept(_ sim.Cycle, f noc.Flit, next sim.SwitchID) {
 	if w.txLen > w.MaxTxDepth {
 		w.MaxTxDepth = w.txLen
 	}
+	// Work-conserving policies: the first buffered flit puts this WI on its
+	// sub-channel's turn queue in O(1).
+	if w.txLen == 1 && w.fb.turnQueue && w.sub != nil {
+		w.sub.enqueue(w.subSlot)
+	}
 }
 
 // popTx removes the head of TX queue q and returns one credit to the host
@@ -105,8 +126,22 @@ func (w *WI) popTx(q int) txEntry {
 }
 
 // ReturnCredit implements noc.CreditSink for the wireless input port: the
-// host switch freed one buffer slot of VC vc.
-func (w *WI) ReturnCredit(_ sim.Cycle, vc int) { w.space[vc]++ }
+// host switch freed one buffer slot of VC vc. Each return also feeds the
+// drain-rate estimate the drain-aware policy sizes announcements against.
+func (w *WI) ReturnCredit(now sim.Cycle, vc int) {
+	w.space[vc]++
+	if now-w.drainWinStart >= drainWindowCycles {
+		if now-w.drainWinStart < 2*drainWindowCycles {
+			w.drainRatePrev = w.drainWinCount
+		} else {
+			w.drainRatePrev = 0 // stale: a full window passed without drains
+		}
+		w.drainWinStart = now
+		w.drainWinCount = 0
+	}
+	w.drainWinCount++
+	w.lastDrain = now
+}
 
 // allocRxVC finds (or reuses) the receive VC for a packet head, reserving
 // it until the tail is transmitted. It returns -1 when no VC is free.

@@ -64,6 +64,47 @@ func determinismParams() []Params {
 	tokenMulti.ChannelAssign = config.AssignStaticPartition
 	tokenMulti.WirelessChannels = 3
 
+	// Work-conserving arbitration policies on multi-sub-channel fabrics:
+	// the turn queues, drain-aware optimistic announcements and weighted
+	// deficit retention all mutate scheduling-sensitive MAC state.
+	skipEmpty := config.MustXCYM(4, 4, config.ArchWireless)
+	skipEmpty.Name = "skip-empty"
+	skipEmpty.WarmupCycles = 100
+	skipEmpty.MeasureCycles = 800
+	skipEmpty.Channel = config.ChannelExclusive
+	skipEmpty.ChannelAssign = config.AssignStaticPartition
+	skipEmpty.WirelessChannels = 2
+	skipEmpty.MACPolicyMode = config.PolicySkipEmpty
+
+	drainAware := config.MustXCYM(4, 4, config.ArchWireless)
+	drainAware.Name = "drain-aware"
+	drainAware.WarmupCycles = 100
+	drainAware.MeasureCycles = 800
+	drainAware.Channel = config.ChannelExclusive
+	drainAware.ChannelAssign = config.AssignSpatialReuse
+	drainAware.WirelessChannels = 2
+	drainAware.MACPolicyMode = config.PolicyDrainAware
+
+	weighted := config.MustXCYM(4, 4, config.ArchWireless)
+	weighted.Name = "weighted"
+	weighted.WarmupCycles = 100
+	weighted.MeasureCycles = 800
+	weighted.Channel = config.ChannelExclusive
+	weighted.ChannelAssign = config.AssignStaticPartition
+	weighted.WirelessChannels = 2
+	weighted.MACPolicyMode = config.PolicyWeighted
+
+	tokenSkip := config.MustXCYM(4, 4, config.ArchWireless)
+	tokenSkip.Name = "token-skip-empty"
+	tokenSkip.WarmupCycles = 100
+	tokenSkip.MeasureCycles = 800
+	tokenSkip.Channel = config.ChannelExclusive
+	tokenSkip.MAC = config.MACToken
+	tokenSkip.TXBufferFlits = tokenSkip.PacketFlits
+	tokenSkip.ChannelAssign = config.AssignStaticPartition
+	tokenSkip.WirelessChannels = 2
+	tokenSkip.MACPolicyMode = config.PolicySkipEmpty
+
 	ber := config.MustXCYM(4, 4, config.ArchWireless)
 	ber.WarmupCycles = 100
 	ber.MeasureCycles = 800
@@ -87,6 +128,10 @@ func determinismParams() []Params {
 		{Cfg: partitioned, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.0005, MemFraction: 0.2}},
 		{Cfg: spatial, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.0005, MemFraction: 0.2}},
 		{Cfg: tokenMulti, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.0003, MemFraction: 0.2}},
+		{Cfg: skipEmpty, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.0005, MemFraction: 0.2}},
+		{Cfg: drainAware, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.0005, MemFraction: 0.2}},
+		{Cfg: weighted, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.0005, MemFraction: 0.2}},
+		{Cfg: tokenSkip, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.0003, MemFraction: 0.2}},
 		{Cfg: ber, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.0005, MemFraction: 0.2}},
 		{Cfg: wired, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.002, MemFraction: 0.2}},
 	}

@@ -63,7 +63,8 @@ type Params struct {
 	// retained pre-sub-channel MAC (one shared medium, one global turn
 	// sequence) — the reference path for the K=1 equivalence regression,
 	// mirroring FullTick. Only meaningful with channel_assignment "single"
-	// and wireless_channels 1.
+	// and wireless_channels 1; the legacy MAC models only the default
+	// "rotate" arbitration policy (New rejects other policies).
 	LegacySingleChannel bool
 	// BuildWorkers bounds the worker pool used for topology and
 	// routing-table construction: <= 0 means runtime.GOMAXPROCS(0), 1
@@ -183,6 +184,10 @@ func New(p Params) (*Engine, error) {
 	cfg := p.Cfg
 	if err := cfg.Validate(); err != nil {
 		return nil, err
+	}
+	if p.LegacySingleChannel && cfg.MACPolicyMode != config.PolicyRotate {
+		return nil, fmt.Errorf("engine: the legacy single-channel MAC models only mac_policy %q, got %q",
+			config.PolicyRotate, cfg.MACPolicyMode)
 	}
 	g, err := topo.BuildWorkers(cfg, p.BuildWorkers)
 	if err != nil {

@@ -374,11 +374,18 @@ func Run(p Params) (*Result, error) {
 
 // CheckPipelineInvariants recomputes every switch's incrementally
 // maintained pipeline state (ready/rcReady VC masks, buffered and waiting
-// counters) from its VC buffers and reports the first drift (test and
+// counters) from its VC buffers, plus the wireless fabric's MAC protocol
+// state (announce accounting, active-turn queues — see
+// core.Fabric.CheckMACInvariants), and reports the first drift (test and
 // validation hook; call after Run or between runs).
 func (e *Engine) CheckPipelineInvariants() error {
 	for _, s := range e.switches {
 		if err := s.CheckPipelineInvariants(); err != nil {
+			return err
+		}
+	}
+	if e.fabric != nil {
+		if err := e.fabric.CheckMACInvariants(); err != nil {
 			return err
 		}
 	}

@@ -40,12 +40,16 @@ func ChannelSweep(o Opts) (*Table, error) {
 	if len(ks) == 0 {
 		ks = defaultChannelKs
 	}
+	assign := o.ChannelAssign
+	if assign == "" {
+		assign = config.AssignSpatialReuse
+	}
 	t := &Table{
 		ID:     "channels",
-		Title:  "Sub-channel count vs saturation bandwidth and energy (exclusive channel, spatial reuse)",
+		Title:  f("Sub-channel count vs saturation bandwidth and energy (exclusive channel, %s)", assign),
 		Header: []string{"config", "cores"},
 		Notes: []string{
-			"extension experiment: K orthogonal mm-wave sub-channels, WIs grouped by grid zone (config.AssignSpatialReuse)",
+			f("extension experiment: K orthogonal mm-wave sub-channels, WIs grouped by config.ChannelAssign %q", assign),
 			"bw in Gbps/core at saturation (uniform, 20% memory, 16-flit packets); energy in pJ/bit",
 		},
 	}
@@ -64,7 +68,7 @@ func ChannelSweep(o Opts) (*Table, error) {
 				return nil, err
 			}
 			cfg.Channel = config.ChannelExclusive
-			cfg.ChannelAssign = config.AssignSpatialReuse
+			cfg.ChannelAssign = assign
 			cfg.WirelessChannels = k
 			o.apply(&cfg)
 			if err := cfg.Validate(); err != nil {

@@ -88,6 +88,12 @@ type Opts struct {
 	// ChannelKs overrides the sub-channel ladder of the channel sweep.
 	// Empty selects K ∈ {1, 2, 4, 8}.
 	ChannelKs []int
+	// ChannelAssign overrides the WI-to-sub-channel assignment of the
+	// channel sweep. Empty selects spatial reuse.
+	ChannelAssign config.ChannelAssignment
+	// Policies overrides the arbitration-policy ladder of the policy
+	// sweep. Empty selects all four policies (rotate first).
+	Policies []config.MACPolicy
 }
 
 func (o Opts) apply(cfg *config.Config) {
@@ -171,13 +177,14 @@ func reductionPct(base, sys float64) float64 {
 }
 
 // Experiments lists every experiment ID in run order: the paper's five
-// figures, the five DESIGN.md ablations, and four extension experiments
+// figures, the five DESIGN.md ablations, and five extension experiments
 // (hybrid architecture, memory read round trips, the large-system scale
-// sweep, and the sub-channel/spatial-reuse sweep).
+// sweep, the sub-channel/spatial-reuse sweep, and the MAC
+// arbitration-policy sweep).
 func Experiments() []string {
 	return []string{"fig2", "fig3", "fig4", "fig5", "fig6",
 		"mac", "channel", "routing", "sleep", "density",
-		"hybrid", "readrt", "scale", "channels"}
+		"hybrid", "readrt", "scale", "channels", "policies"}
 }
 
 // Run executes one experiment by ID.
@@ -211,6 +218,8 @@ func Run(id string, o Opts) (*Table, error) {
 		return ScaleSweep(o)
 	case "channels":
 		return ChannelSweep(o)
+	case "policies":
+		return PolicySweep(o)
 	default:
 		return nil, fmt.Errorf("figures: unknown experiment %q (have %v)", id, Experiments())
 	}

@@ -1,0 +1,95 @@
+package figures
+
+import (
+	"wimc/internal/config"
+	"wimc/internal/engine"
+)
+
+// defaultPolicies is the arbitration-policy ladder of the policy sweep.
+var defaultPolicies = []config.MACPolicy{
+	config.PolicyRotate, config.PolicySkipEmpty,
+	config.PolicyDrainAware, config.PolicyWeighted,
+}
+
+// policySweepChannels is the sub-channel count of the policy sweep: the
+// K=8 point where the channel sweep showed sub-channel scaling saturating
+// the MAC — arbitration, not channel count, is the residual wall there.
+const policySweepChannels = 8
+
+// PolicySweep measures what the work-conserving MAC arbitration policies
+// recover of the turn-rotation wall: the exclusive channel model is rerun
+// across system sizes at K=8 sub-channels (spatial reuse) under each
+// mac_policy, at maximum load with 20% memory traffic. Unlike the channel
+// sweep, packets keep the paper's full 64-flit size, so under the default
+// rotation a transfer needs NumFlits/BufferDepth = 4 receive-window-
+// bounded turns of its source WI and throughput collapses with member
+// count — the regime the skip-empty turn queues, drain-aware
+// announcements and weighted schedules attack. Reported per (size,
+// policy): saturation bandwidth per core and packet energy per bit.
+func PolicySweep(o Opts) (*Table, error) {
+	sizes := o.ScaleSizes
+	if len(sizes) == 0 {
+		sizes = defaultChannelSizes
+	}
+	policies := o.Policies
+	if len(policies) == 0 {
+		policies = defaultPolicies
+	}
+	t := &Table{
+		ID:     "policies",
+		Title:  "MAC arbitration policy vs saturation bandwidth and energy (exclusive channel, K=8, full-size packets)",
+		Header: []string{"config", "cores"},
+		Notes: []string{
+			"extension experiment: work-conserving turn arbitration (config.MACPolicyMode) on the K-sub-channel exclusive MAC",
+			"bw in Gbps/core at saturation (uniform, 20% memory, full 64-flit packets); energy in pJ/bit",
+			"rotate = the paper's fixed round-robin (default); skip-empty = O(1) active-turn queues; drain-aware = announcements sized against receiver drain; weighted = backlog-proportional deficit round-robin",
+		},
+	}
+	for _, pol := range policies {
+		t.Header = append(t.Header, f("bw_%s", pol))
+	}
+	for _, pol := range policies {
+		t.Header = append(t.Header, f("pj_bit_%s", pol))
+	}
+	var ps []engine.Params
+	var cfgs []config.Config
+	for _, chips := range sizes {
+		for _, pol := range policies {
+			cfg, err := config.XCYM(chips, config.DefaultStacks(chips), config.ArchWireless)
+			if err != nil {
+				return nil, err
+			}
+			cfg.Channel = config.ChannelExclusive
+			cfg.ChannelAssign = config.AssignSpatialReuse
+			cfg.WirelessChannels = policySweepChannels
+			cfg.MACPolicyMode = pol
+			o.apply(&cfg)
+			if err := cfg.Validate(); err != nil {
+				return nil, err
+			}
+			cfgs = append(cfgs, cfg)
+			ps = append(ps, saturation(cfg, 0.2))
+		}
+	}
+	rs, err := runBatch(o, ps)
+	if err != nil {
+		return nil, err
+	}
+	for i, chips := range sizes {
+		cfg := cfgs[i*len(policies)]
+		row := []string{
+			f("%dC%dM", chips, cfg.MemStacks),
+			f("%d", cfg.Cores()),
+		}
+		bitsPerPacket := float64(cfg.PacketFlits * cfg.FlitBits)
+		for pi := range policies {
+			row = append(row, f("%.4f", rs[i*len(policies)+pi].BandwidthPerCoreGbps))
+		}
+		for pi := range policies {
+			r := rs[i*len(policies)+pi]
+			row = append(row, f("%.1f", r.AvgPacketEnergyNJ*1000/bitsPerPacket))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

@@ -230,3 +230,59 @@ func ChannelSweep(sizes, channelCounts []int, assign ChannelAssignment, traffic 
 	}
 	return pts, nil
 }
+
+// PolicyPoint is one (system size, arbitration policy) sample of a policy
+// sweep.
+type PolicyPoint struct {
+	Chips    int       `json:"chips"`
+	Stacks   int       `json:"stacks"`
+	Channels int       `json:"channels"`
+	Policy   MACPolicy `json:"mac_policy"`
+	Result   *Result   `json:"result"`
+}
+
+// PolicySweep runs the exclusive wireless channel model at saturation for
+// every (chips, MAC arbitration policy) combination on k sub-channels
+// under the spatial-reuse assignment, returning samples in sweep order
+// (sizes outer, policies inner). It measures what the work-conserving
+// arbitration policies recover of the turn-rotation wall: unlike
+// ChannelSweep, packets keep their configured full size (64 flits by
+// default), so a transfer needs NumFlits/BufferDepth receive-window-
+// bounded turns of its source WI under the default rotation — the regime
+// where skip-empty turn queues, drain-aware announcements and weighted
+// schedules differ. All runs fan out across the machine's cores with
+// deterministic, ordered results.
+func PolicySweep(sizes []int, k int, policies []MACPolicy, traffic TrafficSpec) ([]PolicyPoint, error) {
+	if len(sizes) == 0 || len(policies) == 0 {
+		return nil, fmt.Errorf("wimc: policy sweep needs at least one size and one policy")
+	}
+	t := traffic
+	t.Rate = 1.0
+	var pts []PolicyPoint
+	var ps []engine.Params
+	for _, chips := range sizes {
+		for _, pol := range policies {
+			cfg, err := XCYM(chips, DefaultStacks(chips), ArchWireless)
+			if err != nil {
+				return nil, fmt.Errorf("wimc: policy sweep: %w", err)
+			}
+			cfg.Channel = ChannelExclusive
+			cfg.ChannelAssign = AssignSpatialReuse
+			cfg.WirelessChannels = k
+			cfg.MACPolicyMode = pol
+			if err := cfg.Validate(); err != nil {
+				return nil, fmt.Errorf("wimc: policy sweep (%d chips, %s): %w", chips, pol, err)
+			}
+			pts = append(pts, PolicyPoint{Chips: chips, Stacks: cfg.MemStacks, Channels: k, Policy: pol})
+			ps = append(ps, engine.Params{Cfg: cfg, Traffic: t})
+		}
+	}
+	rs, idx, err := exp.RunIndexed(sweepWorkers, ps)
+	if err != nil {
+		return nil, fmt.Errorf("wimc: %s policy %s: %w", ps[idx].Cfg.Name, pts[idx].Policy, err)
+	}
+	for i := range pts {
+		pts[i].Result = rs[i]
+	}
+	return pts, nil
+}

@@ -99,6 +99,24 @@ const (
 	MACToken         = config.MACToken
 )
 
+// MACPolicy selects how each exclusive sub-channel arbitrates turns among
+// its member WIs.
+type MACPolicy = config.MACPolicy
+
+// MAC arbitration policies. PolicyRotate is the paper's fixed round-robin
+// over every member (the default, byte-identical to the pre-policy
+// fabric); PolicySkipEmpty grants turns from an O(1) active-turn queue so
+// idle WIs are skipped; PolicyDrainAware additionally sizes control-packet
+// announcements against the receiver's live drain so full-size packets
+// finish in fewer turns; PolicyWeighted adds deficit round-robin turn
+// budgets proportional to per-WI backlog, starvation-bounded.
+const (
+	PolicyRotate     = config.PolicyRotate
+	PolicySkipEmpty  = config.PolicySkipEmpty
+	PolicyDrainAware = config.PolicyDrainAware
+	PolicyWeighted   = config.PolicyWeighted
+)
+
 // TrafficKind selects the workload generator.
 type TrafficKind = engine.TrafficKind
 
