@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	wimcbench [-fig all|fig2|fig3|fig4|fig5|fig6|mac|channel|routing|sleep|density|hybrid|readrt|scale|channels|policies]
+//	wimcbench [-fig all|fig2|fig3|fig4|fig5|fig6|mac|channel|routing|sleep|density|hybrid|readrt|scale|channels|policies|hybridsweep]
 //	          [-quick] [-seed N] [-csv DIR] [-parallel=false] [-workers N]
 //	          [-scale-sizes 4,16,64] [-channel-ks 1,2,4,8]
 //	          [-channel-assign spatial-reuse|static-partition] [-mac-policies rotate,skip-empty,...]
@@ -28,14 +28,14 @@ import (
 
 func main() {
 	var (
-		fig            = flag.String("fig", "all", "experiment to run (all, fig2..fig6, mac, channel, routing, sleep, density, hybrid, readrt, scale, channels, policies)")
+		fig            = flag.String("fig", "all", "experiment to run (all, fig2..fig6, mac, channel, routing, sleep, density, hybrid, readrt, scale, channels, policies, hybridsweep)")
 		quick          = flag.Bool("quick", false, "shortened simulation windows")
 		seed           = flag.Uint64("seed", 0, "override RNG seed (0 = default)")
 		csv            = flag.String("csv", "", "directory to write CSV files into")
 		parallel       = flag.Bool("parallel", true, "fan independent runs out across cores (results identical either way)")
 		workers        = flag.Int("workers", 0, "worker-pool size for -parallel (0 = GOMAXPROCS)")
-		scaleSizes     = flag.String("scale-sizes", "", "comma-separated chip counts for the scale/channel/policy sweeps (default 4,8,16,32,64; quick 4,16,64)")
-		channelKs      = flag.String("channel-ks", "", "comma-separated sub-channel counts for the channel sweep (default 1,2,4,8)")
+		scaleSizes     = flag.String("scale-sizes", "", "comma-separated chip counts for the scale/channel/policy/hybrid sweeps (default 4,8,16,32,64; quick 4,16,64)")
+		channelKs      = flag.String("channel-ks", "", "comma-separated sub-channel counts for the channel sweep (default 1,2,4,8) and the hybrid sweep (default 1,4,8)")
 		channelAssign  = flag.String("channel-assign", "", "WI-to-sub-channel assignment for the channel sweep (spatial-reuse, static-partition; default spatial-reuse)")
 		macPolicies    = flag.String("mac-policies", "", "comma-separated arbitration policies for the policy sweep (default rotate,skip-empty,drain-aware,weighted)")
 		checkBaseline  = flag.String("check", "", "bench-regression gate: run the quick throughput bench and fail if cycles/s regresses vs this baseline JSON")

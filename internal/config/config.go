@@ -132,6 +132,27 @@ const (
 	PolicyWeighted MACPolicy = "weighted"
 )
 
+// RouteSelect selects how the route class of each packet is chosen at
+// injection time on a hybrid package, where every distant pair has two
+// genuine media choices (the wireless overlay's single hop vs the
+// interposer underlay).
+type RouteSelect string
+
+// Supported route selection modes.
+const (
+	// SelectStatic always uses the full-graph shortest-path table — the
+	// single-table behavior, byte-identical to the pre-class simulator
+	// (the default; an empty value means static).
+	SelectStatic RouteSelect = "static"
+	// SelectAdaptive consults live load signals at packet injection —
+	// source-WI TX backlog, MAC turn-queue depth and wired-port credit
+	// occupancy — and spills wireless-bound packets onto the wired-only
+	// class table while the transmitting WI is saturated, pulling them
+	// back when it drains (hysteresis-bounded per WI). Requires the hybrid
+	// architecture with shortest-path routing.
+	SelectAdaptive RouteSelect = "adaptive"
+)
+
 // Config is the complete description of one simulated system.
 type Config struct {
 	Name string       `json:"name"`
@@ -205,6 +226,11 @@ type Config struct {
 
 	// Routing.
 	Routing RoutingMode `json:"routing_mode"`
+	// RouteSelectMode picks the per-injection route class on hybrid
+	// packages; empty means static. Validate rejects "adaptive" wherever
+	// there is no class choice to make (non-hybrid architectures, tree
+	// routing) rather than ignoring the knob.
+	RouteSelectMode RouteSelect `json:"route_select"`
 
 	// Run control.
 	Seed          uint64 `json:"seed"`
@@ -280,7 +306,8 @@ func Default() Config {
 		CrossbarEgressGbp: 0,
 		PostWirelessVCs:   2,
 
-		Routing: RouteShortest,
+		Routing:         RouteShortest,
+		RouteSelectMode: SelectStatic,
 
 		Seed:          1,
 		WarmupCycles:  1000,
@@ -422,6 +449,23 @@ func (c Config) Validate() error {
 	case RouteShortest, RouteTree:
 	default:
 		return fmt.Errorf("config: unknown routing mode %q", c.Routing)
+	}
+	switch c.RouteSelectMode {
+	case "", SelectStatic:
+	case SelectAdaptive:
+		// The knob must never be silently dead (the PR 3 class of bug):
+		// adaptive selection chooses between per-fabric-class tables, which
+		// exist only on the hybrid architecture under shortest-path routing.
+		if c.Arch != ArchHybrid {
+			return fmt.Errorf("config: route_select %q requires the hybrid architecture (a %s system has no fabric-class choice to make)",
+				SelectAdaptive, c.Arch)
+		}
+		if c.Routing != RouteShortest {
+			return fmt.Errorf("config: route_select %q requires routing_mode %q (tree routing builds a single table)",
+				SelectAdaptive, RouteShortest)
+		}
+	default:
+		return fmt.Errorf("config: unknown route_select %q", c.RouteSelectMode)
 	}
 	switch c.Channel {
 	case ChannelCrossbar, ChannelExclusive:

@@ -167,6 +167,21 @@ func TestValidationErrors(t *testing.T) {
 		{"token buffer too small", func(c *Config) { c.MAC = MACToken; c.TXBufferFlits = 8 }},
 		{"bad hop weight", func(c *Config) { c.WirelessHopWeight = 0 }},
 		{"bad assignment", func(c *Config) { c.ChannelAssign = "telepathic" }},
+		{"bad route select", func(c *Config) { c.RouteSelectMode = "psychic" }},
+		{"adaptive on wireless", func(c *Config) { c.RouteSelectMode = SelectAdaptive }},
+		{"adaptive on interposer", func(c *Config) {
+			c.Arch = ArchInterposer
+			c.RouteSelectMode = SelectAdaptive
+		}},
+		{"adaptive on substrate", func(c *Config) {
+			c.Arch = ArchSubstrate
+			c.RouteSelectMode = SelectAdaptive
+		}},
+		{"adaptive on tree routing", func(c *Config) {
+			c.Arch = ArchHybrid
+			c.Routing = RouteTree
+			c.RouteSelectMode = SelectAdaptive
+		}},
 		{"zero wireless latency", func(c *Config) { c.WirelessLatency = 0 }},
 		{"negative wireless latency", func(c *Config) { c.WirelessLatency = -3 }},
 		{"channels exceed WIs", func(c *Config) {
@@ -238,6 +253,27 @@ func TestMACPoliciesValid(t *testing.T) {
 			if err := cfg.Validate(); err != nil {
 				t.Fatalf("%s/%s rejected: %v", mac, pol, err)
 			}
+		}
+	}
+}
+
+func TestRouteSelectValid(t *testing.T) {
+	// Adaptive selection is exactly the hybrid + shortest-path combination;
+	// the empty value means static everywhere.
+	c := MustXCYM(4, 4, ArchHybrid)
+	c.RouteSelectMode = SelectAdaptive
+	if err := c.Validate(); err != nil {
+		t.Fatalf("adaptive on hybrid rejected: %v", err)
+	}
+	for _, arch := range []Architecture{ArchSubstrate, ArchInterposer, ArchWireless, ArchHybrid} {
+		c := MustXCYM(4, 4, arch)
+		c.RouteSelectMode = ""
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s: empty route_select rejected: %v", arch, err)
+		}
+		c.RouteSelectMode = SelectStatic
+		if err := c.Validate(); err != nil {
+			t.Fatalf("%s: static route_select rejected: %v", arch, err)
 		}
 	}
 }

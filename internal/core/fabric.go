@@ -128,6 +128,12 @@ type subChannel struct {
 	// wasted because no announced flit could move (receiver not draining /
 	// flits still in flight); the turn is cancelled at drainStallLimit.
 	drainStall int
+
+	// backlogged counts members with buffered TX flits (0↔1 txLen
+	// transitions) — the sub-channel contention signal of the adaptive
+	// route selector, equal to the turn-queue length under the queue
+	// policies and meaningful under the rotation too.
+	backlogged int
 }
 
 // enqueue appends member slot to the active-turn queue (idempotent, O(1)).
@@ -275,6 +281,11 @@ func (fb *Fabric) ensureChannels() {
 		w.sub = sub
 		w.subSlot = len(sub.members)
 		sub.members = append(sub.members, w)
+		if w.txLen > 0 {
+			// Flits buffered before the first Launch (bare harnesses): seed
+			// the contention counter the WI-side transitions maintain.
+			sub.backlogged++
+		}
 	}
 	// Work-conserving policies: build the active-turn queues, seeding them
 	// with any member that buffered flits before the first Launch (bare
@@ -384,6 +395,25 @@ func (fb *Fabric) SubChannelMembers() [][]int {
 		}
 	}
 	return out
+}
+
+// TurnQueueDepth returns how many WIs are waiting for MAC service on w's
+// transmit sub-channel and that sub-channel's member count — the
+// MAC-contention signal of the adaptive route selector. The depth is the
+// backlogged-member count (equal to the active-turn-queue length under the
+// work-conserving policies, and what the rotation effectively serves), kept
+// O(1) by the txLen transition counters. The crossbar model has no turn
+// schedule and reports (0, 0), as does the retained legacy single-channel
+// MAC (the engine rejects adaptive selection on it).
+func (fb *Fabric) TurnQueueDepth(w *WI) (queued, members int) {
+	if fb.cfg.Channel != config.ChannelExclusive || fb.legacy != nil {
+		return 0, 0
+	}
+	fb.ensureChannels()
+	if w.sub == nil {
+		return 0, 0
+	}
+	return w.sub.backlogged, len(w.sub.members)
 }
 
 // WIBySwitch returns the WI hosted at switch id, if any.

@@ -294,6 +294,7 @@ func (fb *Fabric) cancelTurnRemainder(sub *subChannel, src *WI) {
 //	busySubs == #sub-channels mid-turn (the LaunchNeeded skip predicate)
 //	announceLeft == Σ announced[q] of the turn holder (control-packet MAC)
 //	phaseIdle ⇒ announceLeft == 0
+//	backlogged counter == #members holding TX flits (selector load signal)
 //	turn-queue membership ⇔ member has buffered TX flits (queue policies)
 //	queue links form a consistent doubly-linked list
 func (fb *Fabric) CheckMACInvariants() error {
@@ -331,6 +332,16 @@ func (fb *Fabric) CheckMACInvariants() error {
 				return fmt.Errorf("core: sub-channel %d announceLeft %d, holder WI %d announces %d",
 					ci, sub.announceLeft, sub.members[sub.turn].Index, sum)
 			}
+		}
+		backlogged := 0
+		for _, w := range sub.members {
+			if w.txLen > 0 {
+				backlogged++
+			}
+		}
+		if sub.backlogged != backlogged {
+			return fmt.Errorf("core: sub-channel %d backlogged counter %d, %d members hold TX flits",
+				ci, sub.backlogged, backlogged)
 		}
 		if !fb.turnQueue {
 			continue

@@ -82,6 +82,10 @@ func (w *WI) InPort() int { return w.inPort }
 // TxLen returns the total TX occupancy across queues.
 func (w *WI) TxLen() int { return w.txLen }
 
+// TxCapacity returns the total TX flit capacity across queues — the
+// denominator of the adaptive route selector's backlog signal.
+func (w *WI) TxCapacity() int { return w.txDepth * len(w.txVC) }
+
 // CanAccept implements noc.Conduit. Per-VC space is enforced by the host
 // switch's output-port credits (initialized to the TX queue depth), so the
 // conduit itself never refuses.
@@ -107,10 +111,14 @@ func (w *WI) Accept(_ sim.Cycle, f noc.Flit, next sim.SwitchID) {
 	if w.txLen > w.MaxTxDepth {
 		w.MaxTxDepth = w.txLen
 	}
-	// Work-conserving policies: the first buffered flit puts this WI on its
-	// sub-channel's turn queue in O(1).
-	if w.txLen == 1 && w.fb.turnQueue && w.sub != nil {
-		w.sub.enqueue(w.subSlot)
+	if w.txLen == 1 && w.sub != nil {
+		// The WI turned backlogged: feed the sub-channel contention
+		// counter the adaptive route selector reads, and — under the
+		// work-conserving policies — join the turn queue in O(1).
+		w.sub.backlogged++
+		if w.fb.turnQueue {
+			w.sub.enqueue(w.subSlot)
+		}
 	}
 }
 
@@ -121,6 +129,9 @@ func (w *WI) popTx(q int) txEntry {
 	w.txVC[q] = w.txVC[q][1:]
 	w.fb.txTotal--
 	w.txLen--
+	if w.txLen == 0 && w.sub != nil {
+		w.sub.backlogged--
+	}
 	w.sw.ReturnCredit(w.outPort, q)
 	return e
 }

@@ -105,6 +105,19 @@ func determinismParams() []Params {
 	tokenSkip.WirelessChannels = 2
 	tokenSkip.MACPolicyMode = config.PolicySkipEmpty
 
+	// Adaptive route selection on the hybrid: injection-time classification
+	// reads live WI/turn-queue/credit state, so both the selector decisions
+	// and the per-class forwarding lookups are scheduling-sensitive.
+	adaptive := config.MustXCYM(4, 4, config.ArchHybrid)
+	adaptive.Name = "adaptive"
+	adaptive.WarmupCycles = 100
+	adaptive.MeasureCycles = 800
+	adaptive.Channel = config.ChannelExclusive
+	adaptive.ChannelAssign = config.AssignSpatialReuse
+	adaptive.WirelessChannels = 2
+	adaptive.MACPolicyMode = config.PolicySkipEmpty
+	adaptive.RouteSelectMode = config.SelectAdaptive
+
 	ber := config.MustXCYM(4, 4, config.ArchWireless)
 	ber.WarmupCycles = 100
 	ber.MeasureCycles = 800
@@ -132,6 +145,7 @@ func determinismParams() []Params {
 		{Cfg: drainAware, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.0005, MemFraction: 0.2}},
 		{Cfg: weighted, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.0005, MemFraction: 0.2}},
 		{Cfg: tokenSkip, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.0003, MemFraction: 0.2}},
+		{Cfg: adaptive, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 1.0, MemFraction: 0.2, PacketFlits: 16}},
 		{Cfg: ber, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.0005, MemFraction: 0.2}},
 		{Cfg: wired, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.002, MemFraction: 0.2}},
 	}

@@ -64,8 +64,18 @@ type Params struct {
 	// sequence) — the reference path for the K=1 equivalence regression,
 	// mirroring FullTick. Only meaningful with channel_assignment "single"
 	// and wireless_channels 1; the legacy MAC models only the default
-	// "rotate" arbitration policy (New rejects other policies).
+	// "rotate" arbitration policy (New rejects other policies), exports no
+	// turn-queue load signals, and therefore also rejects route_select
+	// "adaptive".
 	LegacySingleChannel bool
+	// SingleClassTable builds only the class-0 forwarding table and
+	// installs it the pre-multi-class way — the reference path for the
+	// route-selector equivalence regression, in the FullTick /
+	// LegacySingleChannel tradition: TestStaticSelectorEquivalence asserts
+	// byte-identical Result JSON between a route_select "static" run (which
+	// builds and installs every class table but always picks class 0) and
+	// this path. Models static selection only (New rejects "adaptive").
+	SingleClassTable bool
 	// BuildWorkers bounds the worker pool used for topology and
 	// routing-table construction: <= 0 means runtime.GOMAXPROCS(0), 1
 	// forces sequential construction. The built system is byte-identical
@@ -78,10 +88,20 @@ type Params struct {
 type Engine struct {
 	cfg    config.Config
 	graph  *topo.Graph
-	tables *route.Tables
+	tables *route.ClassTables
 	meter  *energy.Meter
 	coll   *stats.Collector
 	rng    *sim.Rand
+
+	// selector picks each packet's route class at injection; nil on
+	// single-class systems and under static selection (class 0 always).
+	selector route.Selector
+	// outToward maps a switch to the wired output port feeding each
+	// neighbor (kept from build for the selector's wired-headroom probe).
+	outToward map[sim.SwitchID]map[sim.SwitchID]int
+	// classPackets counts packets classified at injection per route class
+	// (reported for adaptive runs).
+	classPackets [route.NumClasses]int64
 
 	switches  []*noc.Switch
 	links     []*noc.Link
@@ -189,16 +209,38 @@ func New(p Params) (*Engine, error) {
 		return nil, fmt.Errorf("engine: the legacy single-channel MAC models only mac_policy %q, got %q",
 			config.PolicyRotate, cfg.MACPolicyMode)
 	}
+	if p.LegacySingleChannel && cfg.RouteSelectMode == config.SelectAdaptive {
+		return nil, fmt.Errorf("engine: the legacy single-channel MAC exports no turn-queue load signals; route_select %q requires the sub-channel fabric",
+			config.SelectAdaptive)
+	}
+	if p.SingleClassTable && cfg.RouteSelectMode == config.SelectAdaptive {
+		return nil, fmt.Errorf("engine: the single-class reference table models only route_select %q, got %q",
+			config.SelectStatic, config.SelectAdaptive)
+	}
 	g, err := topo.BuildWorkers(cfg, p.BuildWorkers)
 	if err != nil {
 		return nil, err
 	}
-	tables, err := route.BuildWorkers(g, p.BuildWorkers)
-	if err != nil {
-		return nil, err
+	var tables *route.ClassTables
+	if p.SingleClassTable {
+		// Reference path: exactly the pre-multi-class build, one table.
+		t, terr := route.BuildWorkers(g, p.BuildWorkers)
+		if terr != nil {
+			return nil, terr
+		}
+		tables = &route.ClassTables{}
+		tables.Classes[route.ClassWirelessPreferred] = t
+	} else {
+		tables, err = route.BuildClasses(g, p.BuildWorkers)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if !p.SkipDeadlockCheck {
-		if err := route.CheckDeadlockFree(g, tables); err != nil {
+		// Flits of different route classes share the physical channels, so
+		// deadlock freedom must hold over the UNION of the class tables'
+		// channel dependencies, not per table (see route.CheckDeadlockFreeUnion).
+		if err := route.CheckDeadlockFreeUnion(g, tables.Tables()...); err != nil {
 			return nil, fmt.Errorf("engine: %w", err)
 		}
 	}
@@ -318,32 +360,53 @@ func (e *Engine) build() error {
 		localOut[i] = outP
 	}
 
-	// Forwarding tables (endpoint granularity).
+	// Forwarding tables (endpoint granularity), one per route class. A
+	// single-class system installs exactly the class-0 table; hybrid
+	// multi-class systems add the wired-only table, looked up per packet
+	// by its injection-time RouteClass.
 	for sIdx, sw := range e.switches {
 		s := sim.SwitchID(sIdx)
-		fwd := make([]noc.PortHop, g.EndpointCount())
-		for eIdx, ep := range g.Endpoints {
-			if ep.Switch == s {
-				fwd[eIdx] = noc.PortHop{Port: int16(localOut[eIdx]), Next: sim.NoSwitch}
+		for ci, tbl := range e.tables.Classes {
+			if tbl == nil {
 				continue
 			}
-			next := e.tables.Next[s][ep.Switch]
-			if next == sim.NoSwitch {
-				return fmt.Errorf("engine: no route from switch %d to endpoint %d", s, ep.ID)
-			}
-			if p, ok := outToward[s][next]; ok {
-				fwd[eIdx] = noc.PortHop{Port: int16(p), Next: next}
-			} else if e.tables.IsWireless(s, next) {
-				p, ok := wiOutPort[s]
-				if !ok {
-					return fmt.Errorf("engine: switch %d routed onto wireless but has no WI", s)
+			fwd := make([]noc.PortHop, g.EndpointCount())
+			for eIdx, ep := range g.Endpoints {
+				if ep.Switch == s {
+					fwd[eIdx] = noc.PortHop{Port: int16(localOut[eIdx]), Next: sim.NoSwitch}
+					continue
 				}
-				fwd[eIdx] = noc.PortHop{Port: int16(p), Next: next}
-			} else {
-				return fmt.Errorf("engine: switch %d has no port toward %d", s, next)
+				next := tbl.Next[s][ep.Switch]
+				if next == sim.NoSwitch {
+					return fmt.Errorf("engine: class %d: no route from switch %d to endpoint %d", ci, s, ep.ID)
+				}
+				if p, ok := outToward[s][next]; ok {
+					fwd[eIdx] = noc.PortHop{Port: int16(p), Next: next}
+				} else if tbl.IsWireless(s, next) {
+					p, ok := wiOutPort[s]
+					if !ok {
+						return fmt.Errorf("engine: switch %d routed onto wireless but has no WI", s)
+					}
+					fwd[eIdx] = noc.PortHop{Port: int16(p), Next: next}
+				} else {
+					return fmt.Errorf("engine: class %d: switch %d has no port toward %d", ci, s, next)
+				}
 			}
+			sw.SetForwardingClass(ci, fwd)
 		}
-		sw.SetForwarding(fwd)
+	}
+	e.outToward = outToward
+
+	// Route selector: adaptive hybrid runs classify each packet at
+	// injection (the NI's VC-bind point, where load signals are fresh —
+	// under saturation the source queue delays packets far too long for a
+	// generation-time decision to mean anything); everything else stays
+	// class 0 with the injection path untouched.
+	if cfg.RouteSelectMode == config.SelectAdaptive && e.tables.MultiClass() {
+		e.selector = route.NewAdaptiveSelector(e.tables, e.loadProbe)
+		for _, ep := range e.endpoints {
+			ep.SetClassifier(e.classifyPacket)
+		}
 	}
 
 	// Traffic world.
@@ -439,8 +502,57 @@ func (e *Engine) buildTraffic(ts TrafficSpec) error {
 // Graph exposes the topology (inspection/tests).
 func (e *Engine) Graph() *topo.Graph { return e.graph }
 
-// Tables exposes the routing tables (inspection/tests).
-func (e *Engine) Tables() *route.Tables { return e.tables }
+// Tables exposes the class-0 routing tables (inspection/tests).
+func (e *Engine) Tables() *route.Tables { return e.tables.Primary() }
+
+// ClassTables exposes the per-class routing tables (inspection/tests).
+func (e *Engine) ClassTables() *route.ClassTables { return e.tables }
+
+// Selector exposes the route selector, nil when every packet is class 0
+// (inspection/tests).
+func (e *Engine) Selector() route.Selector { return e.selector }
+
+// loadProbe supplies the adaptive selector's live load signals for a
+// packet injected at src toward dst whose class-0 route transmits at the
+// WI hosted on txWI.
+func (e *Engine) loadProbe(txWI, src, dst sim.SwitchID) route.LoadSignals {
+	var s route.LoadSignals
+	if w, ok := e.fabric.WIBySwitch(txWI); ok {
+		s.TxBacklog = w.TxLen()
+		s.TxCapacity = w.TxCapacity()
+		// Flits awaiting wireless transmission are all pre-wireless VC
+		// class, so only the pre-wireless VC range of the host switch's
+		// wireless output port can ever back up into the TX queues; the
+		// realizable backlog ceiling is txDepth × pre-wireless VCs, and
+		// using the physical capacity would put the spill threshold at
+		// (or beyond) a level the backlog can never cross.
+		if pre := e.cfg.VCs - e.cfg.PostWirelessVCs; pre > 0 && e.cfg.TXBufferFlits*pre < s.TxCapacity {
+			s.TxCapacity = e.cfg.TXBufferFlits * pre
+		}
+		s.TurnQueueLen, s.TurnQueueMembers = e.fabric.TurnQueueDepth(w)
+	}
+	// Wired headroom: credit occupancy of the first hop the wired-only
+	// route would take out of the source switch.
+	wired := e.tables.Classes[route.ClassWiredOnly]
+	if next := wired.Next[src][dst]; next != sim.NoSwitch && next != src {
+		if port, ok := e.outToward[src][next]; ok {
+			s.WiredFreeCredits, s.WiredCreditCap = e.switches[src].Output(port).CreditOccupancy()
+		}
+	}
+	return s
+}
+
+// classifyPacket stamps a packet's route class as the NI binds it to an
+// injection VC (installed on every endpoint only when a selector exists,
+// so single-class and static runs leave the injection path untouched).
+func (e *Engine) classifyPacket(now sim.Cycle, p *noc.Packet) {
+	c := e.selector.Pick(now, e.graph.Endpoints[p.Src].Switch, e.graph.Endpoints[p.Dst].Switch)
+	if int(c) >= int(route.NumClasses) {
+		c = route.ClassWirelessPreferred
+	}
+	p.RouteClass = uint8(c)
+	e.classPackets[c]++
+}
 
 // Fabric exposes the wireless fabric, nil for wired architectures.
 func (e *Engine) Fabric() *core.Fabric { return e.fabric }

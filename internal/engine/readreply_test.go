@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"fmt"
 	"testing"
 
 	"wimc/internal/config"
@@ -84,12 +85,23 @@ func TestHybridEndToEnd(t *testing.T) {
 
 func TestHybridBeatsBothParentsAtSaturation(t *testing.T) {
 	tr := TrafficSpec{Kind: TrafficUniform, Rate: 1.0, MemFraction: 0.2}
-	rh := mustRun(t, Params{Cfg: quickCfg(4, config.ArchHybrid), Traffic: tr})
-	ri := mustRun(t, Params{Cfg: quickCfg(4, config.ArchInterposer), Traffic: tr})
-	rw := mustRun(t, Params{Cfg: quickCfg(4, config.ArchWireless), Traffic: tr})
-	if rh.BandwidthPerCoreGbps <= ri.BandwidthPerCoreGbps ||
-		rh.BandwidthPerCoreGbps <= rw.BandwidthPerCoreGbps {
-		t.Fatalf("hybrid bw %.3f not above parents %.3f / %.3f",
-			rh.BandwidthPerCoreGbps, ri.BandwidthPerCoreGbps, rw.BandwidthPerCoreGbps)
+	for _, chips := range []int{4, 16} {
+		chips := chips
+		t.Run(fmt.Sprintf("%dchips", chips), func(t *testing.T) {
+			cfg := func(arch config.Architecture) config.Config {
+				c := config.MustXCYM(chips, config.DefaultStacks(chips), arch)
+				c.WarmupCycles = 200
+				c.MeasureCycles = 1800
+				return c
+			}
+			rh := mustRun(t, Params{Cfg: cfg(config.ArchHybrid), Traffic: tr})
+			ri := mustRun(t, Params{Cfg: cfg(config.ArchInterposer), Traffic: tr})
+			rw := mustRun(t, Params{Cfg: cfg(config.ArchWireless), Traffic: tr})
+			if rh.BandwidthPerCoreGbps <= ri.BandwidthPerCoreGbps ||
+				rh.BandwidthPerCoreGbps <= rw.BandwidthPerCoreGbps {
+				t.Fatalf("hybrid bw %.3f not above parents %.3f / %.3f",
+					rh.BandwidthPerCoreGbps, ri.BandwidthPerCoreGbps, rw.BandwidthPerCoreGbps)
+			}
+		})
 	}
 }

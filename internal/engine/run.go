@@ -5,6 +5,7 @@ import (
 
 	"wimc/internal/energy"
 	"wimc/internal/noc"
+	"wimc/internal/route"
 	"wimc/internal/sim"
 )
 
@@ -22,9 +23,12 @@ type Result struct {
 	MeasuredPackets  int64 `json:"measured_packets"`
 
 	// Latency (cycles; packets created after warmup, delivered in-window).
+	// The percentiles are histogram upper bounds (power-of-two buckets).
 	AvgLatency      float64   `json:"avg_latency_cycles"`
 	AvgNetLatency   float64   `json:"avg_net_latency_cycles"`
 	AvgQueueLatency float64   `json:"avg_queue_latency_cycles"`
+	P50Latency      sim.Cycle `json:"p50_latency_cycles"`
+	P95Latency      sim.Cycle `json:"p95_latency_cycles"`
 	P99Latency      sim.Cycle `json:"p99_latency_cycles"`
 	MaxLatency      sim.Cycle `json:"max_latency_cycles"`
 	AvgHops         float64   `json:"avg_hops"`
@@ -52,6 +56,17 @@ type Result struct {
 	// over the whole run: flits carried / (links × cycles). A class near
 	// 1.0 is the saturating resource.
 	LinkUtilization map[string]float64 `json:"link_utilization"`
+
+	// RouteClassPackets counts packets classified as they entered the
+	// network, per route class (keys are route.RouteClass names).
+	// Populated only on adaptive hybrid runs — static runs stay
+	// byte-identical to the single-table reference.
+	RouteClassPackets map[string]int64 `json:"route_class_packets,omitempty"`
+	// RouteSpills / RouteReturns count the adaptive selector's hysteresis
+	// transitions (WIs entering / leaving the spilled state); zero
+	// elsewhere.
+	RouteSpills  int64 `json:"route_spills,omitempty"`
+	RouteReturns int64 `json:"route_returns,omitempty"`
 
 	// Wireless protocol counters (zero for wired architectures).
 	ControlPackets  int64   `json:"control_packets"`
@@ -296,6 +311,8 @@ func (e *Engine) results() (*Result, error) {
 		AvgLatency:          coll.AvgLatency(),
 		AvgNetLatency:       coll.AvgNetLatency(),
 		AvgQueueLatency:     coll.AvgQueueLatency(),
+		P50Latency:          coll.LatencyPercentile(0.50),
+		P95Latency:          coll.LatencyPercentile(0.95),
 		P99Latency:          coll.LatencyPercentile(0.99),
 		MaxLatency:          coll.MaxLatency,
 		AvgHops:             coll.AvgHops(),
@@ -326,6 +343,18 @@ func (e *Engine) results() (*Result, error) {
 			if w.MaxTxDepth > r.WIMaxTxDepth {
 				r.WIMaxTxDepth = w.MaxTxDepth
 			}
+		}
+	}
+	if e.selector != nil {
+		r.RouteClassPackets = make(map[string]int64, len(e.classPackets))
+		for c, n := range e.classPackets {
+			if n > 0 {
+				r.RouteClassPackets[route.RouteClass(c).String()] = n
+			}
+		}
+		if a, ok := e.selector.(*route.AdaptiveSelector); ok {
+			r.RouteSpills = a.Spills
+			r.RouteReturns = a.Returns
 		}
 	}
 	return r, nil

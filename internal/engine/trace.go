@@ -5,6 +5,7 @@ import (
 	"fmt"
 
 	"wimc/internal/noc"
+	"wimc/internal/route"
 	"wimc/internal/sim"
 )
 
@@ -22,6 +23,9 @@ type TraceRecord struct {
 	EnergyPJ    float64        `json:"energy_pj"`
 	Retransmits int32          `json:"retransmits,omitempty"`
 	ReplyFor    uint64         `json:"reply_for,omitempty"`
+	// RouteClass names the forwarding-table class the packet rode
+	// (adaptive hybrid runs; omitted for the default class 0).
+	RouteClass string `json:"route_class,omitempty"`
 }
 
 // tracePacket emits one JSON line for a delivered packet. The first write
@@ -43,6 +47,9 @@ func (e *Engine) tracePacket(p *noc.Packet) {
 		EnergyPJ:    p.EnergyPJ,
 		Retransmits: p.Retransmits,
 		ReplyFor:    p.ReplyFor,
+	}
+	if p.RouteClass != 0 {
+		rec.RouteClass = route.RouteClass(p.RouteClass).String()
 	}
 	data, err := json.Marshal(rec)
 	if err != nil {

@@ -177,14 +177,14 @@ func reductionPct(base, sys float64) float64 {
 }
 
 // Experiments lists every experiment ID in run order: the paper's five
-// figures, the five DESIGN.md ablations, and five extension experiments
+// figures, the five DESIGN.md ablations, and six extension experiments
 // (hybrid architecture, memory read round trips, the large-system scale
-// sweep, the sub-channel/spatial-reuse sweep, and the MAC
-// arbitration-policy sweep).
+// sweep, the sub-channel/spatial-reuse sweep, the MAC arbitration-policy
+// sweep, and the hybrid route-selection sweep).
 func Experiments() []string {
 	return []string{"fig2", "fig3", "fig4", "fig5", "fig6",
 		"mac", "channel", "routing", "sleep", "density",
-		"hybrid", "readrt", "scale", "channels", "policies"}
+		"hybrid", "readrt", "scale", "channels", "policies", "hybridsweep"}
 }
 
 // Run executes one experiment by ID.
@@ -220,6 +220,8 @@ func Run(id string, o Opts) (*Table, error) {
 		return ChannelSweep(o)
 	case "policies":
 		return PolicySweep(o)
+	case "hybridsweep":
+		return HybridSweep(o)
 	default:
 		return nil, fmt.Errorf("figures: unknown experiment %q (have %v)", id, Experiments())
 	}

@@ -1,0 +1,128 @@
+package figures
+
+import (
+	"wimc/internal/config"
+	"wimc/internal/engine"
+)
+
+// defaultHybridKs is the sub-channel ladder of the hybrid sweep: the
+// shared-medium baseline plus the two points where the channel sweep
+// showed sub-channel scaling paying (4) and saturating the MAC (8).
+var defaultHybridKs = []int{1, 4, 8}
+
+// hybridSelects is the route-selection ladder of the hybrid sweep.
+var hybridSelects = []config.RouteSelect{config.SelectStatic, config.SelectAdaptive}
+
+// HybridSweep answers the ROADMAP's open item — the hybrid architecture's
+// behavior at scale — by rerunning the channel-sweep methodology on the
+// hybrid overlay: interposer wiring plus the K-sub-channel exclusive
+// wireless fabric (spatial reuse, skip-empty arbitration so channel time
+// follows backlog), at maximum load with 20% memory traffic, across
+// system sizes × K ∈ {1,4,8} × route_select ∈ {static, adaptive}. Static
+// selection routes every packet by the single full-graph table (the
+// pre-class behavior, byte-identical); adaptive selection classifies each
+// packet at injection from live load signals and spills wireless-bound
+// traffic onto the interposer while the transmitting WI is saturated.
+// Reported per (size, K, selector): saturation bandwidth per core and
+// packet energy per bit, plus the adaptive runs' spilled-packet share.
+//
+// Packets are one receive-buffer reservation (16 flits) for the same
+// reason as the channel sweep: full-size packets need four turns of their
+// source WI and never finish a 64-chip rotation within the window.
+func HybridSweep(o Opts) (*Table, error) {
+	sizes := o.ScaleSizes
+	if len(sizes) == 0 {
+		sizes = defaultChannelSizes
+	}
+	ks := o.ChannelKs
+	if len(ks) == 0 {
+		ks = defaultHybridKs
+	}
+	t := &Table{
+		ID:     "hybridsweep",
+		Title:  "Hybrid overlay at scale: route selection vs saturation bandwidth and energy (exclusive channel, skip-empty)",
+		Header: []string{"config", "cores"},
+		Notes: []string{
+			"extension experiment: multi-class routing on the hybrid architecture (config.RouteSelectMode)",
+			"bw in Gbps/core at saturation (uniform, 20% memory, 16-flit packets); energy in pJ/bit",
+			"static = every packet on the full-graph shortest-path table (pre-class behavior); adaptive = injection-time spill onto the interposer while the transmitting WI is saturated (hysteresis-bounded)",
+			"spill_k* = share of adaptive-run packets classified wired-only at injection",
+		},
+	}
+	for _, k := range ks {
+		t.Header = append(t.Header, f("bw_k%d_static", k), f("bw_k%d_adaptive", k))
+	}
+	for _, k := range ks {
+		t.Header = append(t.Header, f("pj_bit_k%d_static", k), f("pj_bit_k%d_adaptive", k))
+	}
+	for _, k := range ks {
+		t.Header = append(t.Header, f("spill_k%d", k))
+	}
+	var ps []engine.Params
+	var cfgs []config.Config
+	for _, chips := range sizes {
+		for _, k := range ks {
+			for _, sel := range hybridSelects {
+				cfg, err := config.XCYM(chips, config.DefaultStacks(chips), config.ArchHybrid)
+				if err != nil {
+					return nil, err
+				}
+				cfg.Channel = config.ChannelExclusive
+				cfg.WirelessChannels = k
+				if k == 1 {
+					cfg.ChannelAssign = config.AssignSingle
+				} else {
+					cfg.ChannelAssign = config.AssignSpatialReuse
+				}
+				cfg.MACPolicyMode = config.PolicySkipEmpty
+				cfg.RouteSelectMode = sel
+				o.apply(&cfg)
+				if err := cfg.Validate(); err != nil {
+					return nil, err
+				}
+				cfgs = append(cfgs, cfg)
+				p := saturation(cfg, 0.2)
+				p.Traffic.PacketFlits = channelSweepPacketFlits
+				ps = append(ps, p)
+			}
+		}
+	}
+	rs, err := runBatch(o, ps)
+	if err != nil {
+		return nil, err
+	}
+	stride := len(ks) * len(hybridSelects)
+	for i, chips := range sizes {
+		cfg := cfgs[i*stride]
+		row := []string{
+			f("%dC%dM", chips, cfg.MemStacks),
+			f("%d", cfg.Cores()),
+		}
+		bitsPerPacket := float64(channelSweepPacketFlits * cfg.FlitBits)
+		cell := func(ki, si int) *engine.Result { return rs[i*stride+ki*len(hybridSelects)+si] }
+		for ki := range ks {
+			row = append(row,
+				f("%.4f", cell(ki, 0).BandwidthPerCoreGbps),
+				f("%.4f", cell(ki, 1).BandwidthPerCoreGbps))
+		}
+		for ki := range ks {
+			row = append(row,
+				f("%.1f", cell(ki, 0).AvgPacketEnergyNJ*1000/bitsPerPacket),
+				f("%.1f", cell(ki, 1).AvgPacketEnergyNJ*1000/bitsPerPacket))
+		}
+		for ki := range ks {
+			a := cell(ki, 1)
+			total := int64(0)
+			for _, n := range a.RouteClassPackets {
+				total += n
+			}
+			spill := 0.0
+			if total > 0 {
+				spill = float64(a.RouteClassPackets["wired-only"]) / float64(total)
+			}
+			row = append(row, f("%.3f", spill))
+		}
+		t.Rows = append(t.Rows, row)
+	}
+	return t, nil
+}

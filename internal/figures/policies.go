@@ -25,7 +25,11 @@ const policySweepChannels = 8
 // bounded turns of its source WI and throughput collapses with member
 // count — the regime the skip-empty turn queues, drain-aware
 // announcements and weighted schedules attack. Reported per (size,
-// policy): saturation bandwidth per core and packet energy per bit.
+// policy): saturation bandwidth per core, packet energy per bit, and the
+// p50/p95/p99 packet latency percentiles (histogram upper bounds over
+// post-warmup packets delivered in-window — arbitration policies trade
+// tail latency, not just bandwidth, so means alone hide the cost of long
+// optimistic turns).
 func PolicySweep(o Opts) (*Table, error) {
 	sizes := o.ScaleSizes
 	if len(sizes) == 0 {
@@ -43,6 +47,7 @@ func PolicySweep(o Opts) (*Table, error) {
 			"extension experiment: work-conserving turn arbitration (config.MACPolicyMode) on the K-sub-channel exclusive MAC",
 			"bw in Gbps/core at saturation (uniform, 20% memory, full 64-flit packets); energy in pJ/bit",
 			"rotate = the paper's fixed round-robin (default); skip-empty = O(1) active-turn queues; drain-aware = announcements sized against receiver drain; weighted = backlog-proportional deficit round-robin",
+			"p50/p95/p99 in cycles: latency-histogram upper bounds over post-warmup packets delivered in-window (0 when no such packet completes, the deeply saturated regime)",
 		},
 	}
 	for _, pol := range policies {
@@ -50,6 +55,9 @@ func PolicySweep(o Opts) (*Table, error) {
 	}
 	for _, pol := range policies {
 		t.Header = append(t.Header, f("pj_bit_%s", pol))
+	}
+	for _, pol := range policies {
+		t.Header = append(t.Header, f("p50_%s", pol), f("p95_%s", pol), f("p99_%s", pol))
 	}
 	var ps []engine.Params
 	var cfgs []config.Config
@@ -88,6 +96,10 @@ func PolicySweep(o Opts) (*Table, error) {
 		for pi := range policies {
 			r := rs[i*len(policies)+pi]
 			row = append(row, f("%.1f", r.AvgPacketEnergyNJ*1000/bitsPerPacket))
+		}
+		for pi := range policies {
+			r := rs[i*len(policies)+pi]
+			row = append(row, f("%d", r.P50Latency), f("%d", r.P95Latency), f("%d", r.P99Latency))
 		}
 		t.Rows = append(t.Rows, row)
 	}

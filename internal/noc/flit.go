@@ -80,6 +80,12 @@ type Packet struct {
 	// Hops counts switch traversals of the head flit.
 	Hops int32
 
+	// RouteClass selects the forwarding-table class every switch routes
+	// this packet by (route.RouteClass; 0 = the default full-graph table).
+	// Fixed at injection by the engine's route selector; a packet never
+	// changes class mid-flight.
+	RouteClass uint8
+
 	// EnergyPJ accumulates dynamic energy attributed to this packet.
 	EnergyPJ float64
 

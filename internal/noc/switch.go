@@ -93,6 +93,16 @@ type OutputPort struct {
 // and invariant-check hook).
 func (op *OutputPort) Credits(vc int) int { return int(op.vcs[vc].credits) }
 
+// CreditOccupancy returns the free downstream credits summed over the
+// port's VCs and the port's total credit capacity — the wired-headroom
+// load signal the adaptive route selector reads at injection time.
+func (op *OutputPort) CreditOccupancy() (free, capacity int) {
+	for i := range op.vcs {
+		free += int(op.vcs[i].credits)
+	}
+	return free, len(op.vcs) * int(op.maxCredits)
+}
+
 // Switch is a wormhole virtual-channel router with a three-stage pipeline:
 // route computation (RC), VC allocation (VA) and switch allocation plus
 // traversal (SA/ST). One flit per output port traverses per cycle.
@@ -106,7 +116,11 @@ type Switch struct {
 	in  []*InputPort
 	out []*OutputPort
 
-	fwd []PortHop // indexed by destination endpoint ID
+	// fwd holds one forwarding table per route class, each indexed by
+	// destination endpoint ID. fwd[0] always exists; a packet whose
+	// RouteClass has no table here routes by class 0 (single-class
+	// systems never install more).
+	fwd [][]PortHop
 
 	// phaseSplit partitions output VCs into two classes: flits in phase 0
 	// (pre-wireless) may only use VCs [0, V-postVCs), flits in phase 1
@@ -200,8 +214,27 @@ func (s *Switch) AddOutputPort(c Conduit, credits int) int {
 	return len(s.out) - 1
 }
 
-// SetForwarding installs the forwarding table (one entry per endpoint).
-func (s *Switch) SetForwarding(fwd []PortHop) { s.fwd = fwd }
+// SetForwarding installs the class-0 forwarding table (one entry per
+// endpoint) — the only table of a single-class system.
+func (s *Switch) SetForwarding(fwd []PortHop) { s.SetForwardingClass(0, fwd) }
+
+// SetForwardingClass installs the forwarding table of one route class.
+// Class 0 must be installed; higher classes are optional and looked up per
+// packet (a missing class falls back to class 0 in route computation).
+func (s *Switch) SetForwardingClass(class int, fwd []PortHop) {
+	for len(s.fwd) <= class {
+		s.fwd = append(s.fwd, nil)
+	}
+	s.fwd[class] = fwd
+}
+
+// forwardingFor returns the forwarding table routing packet p.
+func (s *Switch) forwardingFor(p *Packet) []PortHop {
+	if c := int(p.RouteClass); c < len(s.fwd) && s.fwd[c] != nil {
+		return s.fwd[c]
+	}
+	return s.fwd[0]
+}
 
 // SetPhaseSplit enables VC class partitioning by wireless phase, giving the
 // post-wireless class the top post VCs. Post-wireless mesh segments are
@@ -527,7 +560,7 @@ func (s *Switch) TickRC(now sim.Cycle) {
 			if !ok || !f.IsHead() {
 				continue
 			}
-			hop := s.fwd[f.Pkt.Dst]
+			hop := s.forwardingFor(f.Pkt)[f.Pkt.Dst]
 			vc.outPort = hop.Port
 			vc.nextHop = hop.Next
 			vc.phase = f.Phase

@@ -31,6 +31,17 @@ import (
 // rather than O(n × path length) — and keeps the check affordable at
 // 64-chip scale.
 func CheckDeadlockFree(g *topo.Graph, t *Tables) error {
+	return CheckDeadlockFreeUnion(g, t)
+}
+
+// CheckDeadlockFreeUnion verifies deadlock freedom over the union of
+// several routing functions sharing one physical network — the multi-class
+// case, where flits routed by different class tables occupy the same
+// channels concurrently and a hold-and-wait chain may cross tables. Every
+// table's routes are walked into ONE channel dependency graph and the
+// union must be acyclic; per-table acyclicity alone would not rule out a
+// cycle assembled from dependencies of different classes.
+func CheckDeadlockFreeUnion(g *topo.Graph, tables ...*Tables) error {
 	n := g.SwitchCount()
 	phased := g.HasWireless()
 	// Channel key: ((u*n)+v)*3 + class; class 0 = pre-wireless VC class,
@@ -42,8 +53,9 @@ func CheckDeadlockFree(g *topo.Graph, t *Tables) error {
 	deps := make(map[int][]int, n*4)
 	used := make(map[int]bool, n*4)
 	// Channel IDs carry no destination, so the same (prev, next) channel
-	// pair recurs across destination epochs; every dependency goes through
-	// one dedup set to keep the CDG free of parallel edges.
+	// pair recurs across destination epochs and across class tables; every
+	// dependency goes through one dedup set to keep the CDG free of
+	// parallel edges.
 	depSeen := make(map[[2]int]bool, n*8)
 	addDep := func(prev, c int) {
 		if prev < 0 || depSeen[[2]int{prev, c}] {
@@ -53,61 +65,66 @@ func CheckDeadlockFree(g *topo.Graph, t *Tables) error {
 		deps[prev] = append(deps[prev], c)
 	}
 
-	// State key: switch*2 + phase, valid for the current destination epoch.
-	// walkStamp flags states of the in-progress walk so a routing loop is
-	// still detected (a visited-state break must mean "suffix reaches d").
+	// State key: switch*2 + phase, valid for the current destination epoch
+	// of the current table. walkStamp flags states of the in-progress walk
+	// so a routing loop is still detected (a visited-state break must mean
+	// "suffix reaches d").
 	visited := make([]int32, 2*n)
 	walkStamp := make([]int32, 2*n)
 	var walkSeq int32
 	var chain []int32
 
-	for d := 0; d < n; d++ {
-		epoch := int32(d + 1)
-		for s := 0; s < n; s++ {
-			if s == d {
-				continue
-			}
-			walkSeq++
-			chain = chain[:0]
-			prevChan := -1
-			cur := sim.SwitchID(s)
-			phase := 0
-			for cur != sim.SwitchID(d) {
-				nxt := t.Next[cur][d]
-				if nxt == sim.NoSwitch || nxt == cur {
-					return fmt.Errorf("route: no progress from %d toward %d", cur, d)
+	for ti, t := range tables {
+		for d := 0; d < n; d++ {
+			// Epochs must not collide across tables: each table's walk
+			// memoizes its own suffixes only.
+			epoch := int32(ti*n + d + 1)
+			for s := 0; s < n; s++ {
+				if s == d {
+					continue
 				}
-				class := 0
-				wl := phased && t.IsWireless(cur, nxt)
-				if phased {
-					if wl {
-						class = 2
-					} else {
-						class = phase
+				walkSeq++
+				chain = chain[:0]
+				prevChan := -1
+				cur := sim.SwitchID(s)
+				phase := 0
+				for cur != sim.SwitchID(d) {
+					nxt := t.Next[cur][d]
+					if nxt == sim.NoSwitch || nxt == cur {
+						return fmt.Errorf("route: no progress from %d toward %d", cur, d)
 					}
+					class := 0
+					wl := phased && t.IsWireless(cur, nxt)
+					if phased {
+						if wl {
+							class = 2
+						} else {
+							class = phase
+						}
+					}
+					c := chanID(cur, nxt, class)
+					addDep(prevChan, c)
+					st := int(cur)*2 + phase
+					if visited[st] == epoch {
+						break // suffix already walked; only the entry dependency was new
+					}
+					if walkStamp[st] == walkSeq {
+						return fmt.Errorf("route: routing loop from %d to %d", s, d)
+					}
+					walkStamp[st] = walkSeq
+					chain = append(chain, int32(st))
+					used[c] = true
+					if wl {
+						phase = 1
+					}
+					prevChan = c
+					cur = nxt
 				}
-				c := chanID(cur, nxt, class)
-				addDep(prevChan, c)
-				st := int(cur)*2 + phase
-				if visited[st] == epoch {
-					break // suffix already walked; only the entry dependency was new
+				// The walk reached d (or a state that does): its states'
+				// suffixes are now fully recorded.
+				for _, st := range chain {
+					visited[st] = epoch
 				}
-				if walkStamp[st] == walkSeq {
-					return fmt.Errorf("route: routing loop from %d to %d", s, d)
-				}
-				walkStamp[st] = walkSeq
-				chain = append(chain, int32(st))
-				used[c] = true
-				if wl {
-					phase = 1
-				}
-				prevChan = c
-				cur = nxt
-			}
-			// The walk reached d (or a state that does): its states' suffixes
-			// are now fully recorded.
-			for _, st := range chain {
-				visited[st] = epoch
 			}
 		}
 	}

@@ -1,21 +1,3 @@
-// Package route computes forwarding tables for the multichip network.
-//
-// Two modes are provided (DESIGN.md §5.2):
-//
-//   - RouteShortest (default): true per-source shortest paths computed by
-//     Dijkstra's algorithm with deterministic tie-breaking that prefers
-//     horizontal wired hops, then vertical wired hops, then I/O links, then
-//     wireless hops. Inside a chip mesh this degenerates to XY routing,
-//     which is deadlock-free; global deadlock safety is verified with an
-//     explicit channel-dependency-graph check.
-//
-//   - RouteTree: all traffic follows a single shortest-path tree rooted at
-//     a seeded-random switch — the paper's literal description, which is
-//     trivially deadlock-free because tree paths have no cyclic channel
-//     dependencies.
-//
-// Wireless interfaces form a full graph: every WI pair is one hop at a
-// configurable routing weight.
 package route
 
 import (
@@ -45,12 +27,14 @@ type Tables struct {
 	workers int
 }
 
-// arc is one directed adjacency used by the router computation.
+// arc is one directed adjacency used by the router computation, tagged
+// with the fabric class of its technology (wired edges vs the synthesized
+// wireless full graph) so class-restricted tables can filter by it.
 type arc struct {
-	to       sim.SwitchID
-	weight   int32
-	rank     int // tie-break priority: lower is preferred
-	wireless bool
+	to     sim.SwitchID
+	weight int32
+	rank   int // tie-break priority: lower is preferred
+	fabric topo.FabricClass
 }
 
 // Tie-break ranks.
@@ -72,7 +56,14 @@ func Build(g *topo.Graph) (*Tables, error) {
 // BuildWorkers is Build with an explicit worker-pool bound: <= 0 means
 // runtime.GOMAXPROCS(0), 1 forces a fully sequential build.
 func BuildWorkers(g *topo.Graph, workers int) (*Tables, error) {
-	adj, wmap, err := adjacency(g)
+	return buildSingle(g, workers, true)
+}
+
+// buildSingle computes one forwarding table. includeWireless selects
+// whether the wireless full graph joins the adjacency (true reproduces
+// Build exactly); false yields the wired-only class table of a hybrid.
+func buildSingle(g *topo.Graph, workers int, includeWireless bool) (*Tables, error) {
+	adj, wmap, err := adjacency(g, includeWireless)
 	if err != nil {
 		return nil, err
 	}
@@ -141,13 +132,15 @@ func (t *Tables) HopCount(s, d sim.SwitchID) int {
 	return len(p) - 1
 }
 
-// adjacency constructs directed arcs from the wired edges plus the wireless
-// full graph among WI switches.
-func adjacency(g *topo.Graph) ([][]arc, map[[2]sim.SwitchID]bool, error) {
+// adjacency constructs directed arcs from the wired edges plus (when
+// includeWireless) the wireless full graph among WI switches. Arc order is
+// independent of the flag for the arcs both variants share, so the wired
+// subgraph of the full adjacency is exactly the wired-only adjacency.
+func adjacency(g *topo.Graph, includeWireless bool) ([][]arc, map[[2]sim.SwitchID]bool, error) {
 	n := g.SwitchCount()
 	adj := make([][]arc, n)
-	addDirected := func(a, b sim.SwitchID, w int32, rank int, wl bool) {
-		adj[a] = append(adj[a], arc{to: b, weight: w, rank: rank, wireless: wl})
+	addDirected := func(a, b sim.SwitchID, w int32, rank int, fc topo.FabricClass) {
+		adj[a] = append(adj[a], arc{to: b, weight: w, rank: rank, fabric: fc})
 	}
 	for _, e := range g.Edges {
 		var rank int
@@ -165,21 +158,23 @@ func adjacency(g *topo.Graph) ([][]arc, map[[2]sim.SwitchID]bool, error) {
 		if w < 1 {
 			w = 1
 		}
-		addDirected(e.A, e.B, w, rank, false)
-		addDirected(e.B, e.A, w, rank, false)
+		addDirected(e.A, e.B, w, rank, e.Kind.Fabric())
+		addDirected(e.B, e.A, w, rank, e.Kind.Fabric())
 	}
 	wmap := make(map[[2]sim.SwitchID]bool, len(g.WISwitches)*len(g.WISwitches))
-	ww := int32(g.Cfg.WirelessHopWeight)
-	if ww < 1 {
-		ww = 1
-	}
-	for i, a := range g.WISwitches {
-		for j, b := range g.WISwitches {
-			if i == j {
-				continue
+	if includeWireless {
+		ww := int32(g.Cfg.WirelessHopWeight)
+		if ww < 1 {
+			ww = 1
+		}
+		for i, a := range g.WISwitches {
+			for j, b := range g.WISwitches {
+				if i == j {
+					continue
+				}
+				addDirected(a, b, ww, rankWireless, topo.FabricWireless)
+				wmap[[2]sim.SwitchID{a, b}] = true
 			}
-			addDirected(a, b, ww, rankWireless, true)
-			wmap[[2]sim.SwitchID{a, b}] = true
 		}
 	}
 	// Deterministic neighbor order: tie-break rank, then target ID.

@@ -231,6 +231,74 @@ func ChannelSweep(sizes, channelCounts []int, assign ChannelAssignment, traffic 
 	return pts, nil
 }
 
+// HybridPoint is one (system size, sub-channel count, route selection)
+// sample of a hybrid sweep.
+type HybridPoint struct {
+	Chips    int         `json:"chips"`
+	Stacks   int         `json:"stacks"`
+	Channels int         `json:"channels"`
+	Select   RouteSelect `json:"route_select"`
+	Result   *Result     `json:"result"`
+}
+
+// HybridSweep runs the hybrid architecture (interposer wiring plus the
+// K-sub-channel exclusive wireless overlay, skip-empty arbitration) at
+// saturation for every (chips, K, route selection) combination, returning
+// samples in sweep order (sizes outer, channel counts middle, then
+// static before adaptive). It answers how the hybrid behaves at scale and
+// what injection-time load-aware fabric selection buys: static selection
+// pins every packet to the full-graph shortest-path table (the pre-class
+// behavior), adaptive selection spills wireless-bound packets onto the
+// interposer while the transmitting WI is saturated and pulls them back
+// as it drains. K = 1 uses the single shared medium; larger K uses
+// spatial reuse. Packets default to one receive-buffer reservation per
+// transfer for the channel-sweep reason (see ChannelSweep). All runs fan
+// out across the machine's cores with deterministic, ordered results.
+func HybridSweep(sizes, channelCounts []int, traffic TrafficSpec) ([]HybridPoint, error) {
+	if len(sizes) == 0 || len(channelCounts) == 0 {
+		return nil, fmt.Errorf("wimc: hybrid sweep needs at least one size and one channel count")
+	}
+	t := traffic
+	t.Rate = 1.0
+	var pts []HybridPoint
+	var ps []engine.Params
+	for _, chips := range sizes {
+		for _, k := range channelCounts {
+			for _, sel := range []RouteSelect{SelectStatic, SelectAdaptive} {
+				cfg, err := XCYM(chips, DefaultStacks(chips), ArchHybrid)
+				if err != nil {
+					return nil, fmt.Errorf("wimc: hybrid sweep: %w", err)
+				}
+				cfg.Channel = ChannelExclusive
+				cfg.WirelessChannels = k
+				cfg.ChannelAssign = AssignSpatialReuse
+				if k == 1 {
+					cfg.ChannelAssign = AssignSingle
+				}
+				cfg.MACPolicyMode = PolicySkipEmpty
+				cfg.RouteSelectMode = sel
+				if err := cfg.Validate(); err != nil {
+					return nil, fmt.Errorf("wimc: hybrid sweep (%d chips, K=%d, %s): %w", chips, k, sel, err)
+				}
+				tk := t
+				if tk.PacketFlits == 0 {
+					tk.PacketFlits = cfg.BufferDepth // one rx reservation per packet
+				}
+				pts = append(pts, HybridPoint{Chips: chips, Stacks: cfg.MemStacks, Channels: k, Select: sel})
+				ps = append(ps, engine.Params{Cfg: cfg, Traffic: tk})
+			}
+		}
+	}
+	rs, idx, err := exp.RunIndexed(sweepWorkers, ps)
+	if err != nil {
+		return nil, fmt.Errorf("wimc: %s K=%d %s: %w", ps[idx].Cfg.Name, pts[idx].Channels, pts[idx].Select, err)
+	}
+	for i := range pts {
+		pts[i].Result = rs[i]
+	}
+	return pts, nil
+}
+
 // PolicyPoint is one (system size, arbitration policy) sample of a policy
 // sweep.
 type PolicyPoint struct {

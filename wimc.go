@@ -117,6 +117,23 @@ const (
 	PolicyWeighted   = config.PolicyWeighted
 )
 
+// RouteSelect selects how each packet's route class is chosen at
+// injection time on hybrid packages.
+type RouteSelect = config.RouteSelect
+
+// Route selection modes. SelectStatic (the default) routes every packet by
+// the full-graph shortest-path table — byte-identical to the pre-class
+// simulator; SelectAdaptive consults live load signals at injection
+// (source-WI TX backlog, MAC turn-queue depth, wired-port credit
+// occupancy) and spills wireless-bound packets onto the interposer while
+// the transmitting WI is saturated, hysteresis-bounded per WI. Adaptive
+// selection requires ArchHybrid with shortest-path routing
+// (config.Validate rejects it anywhere else).
+const (
+	SelectStatic   = config.SelectStatic
+	SelectAdaptive = config.SelectAdaptive
+)
+
 // TrafficKind selects the workload generator.
 type TrafficKind = engine.TrafficKind
 
