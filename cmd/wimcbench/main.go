@@ -6,7 +6,7 @@
 //
 // Usage:
 //
-//	wimcbench [-fig all|fig2|fig3|fig4|fig5|fig6|mac|channel|routing|sleep|density|hybrid|readrt|scale|channels|policies|hybridsweep]
+//	wimcbench [-fig all|fig2|fig3|fig4|fig5|fig6|mac|channel|routing|sleep|density|hybrid|readrt|scale|channels|policies|hybridsweep|faults]
 //	          [-quick] [-seed N] [-csv DIR] [-parallel=false] [-workers N]
 //	          [-scale-sizes 4,16,64] [-channel-ks 1,2,4,8]
 //	          [-channel-assign spatial-reuse|static-partition] [-mac-policies rotate,skip-empty,...]
@@ -28,7 +28,7 @@ import (
 
 func main() {
 	var (
-		fig            = flag.String("fig", "all", "experiment to run (all, fig2..fig6, mac, channel, routing, sleep, density, hybrid, readrt, scale, channels, policies, hybridsweep)")
+		fig            = flag.String("fig", "all", "experiment to run (all, fig2..fig6, mac, channel, routing, sleep, density, hybrid, readrt, scale, channels, policies, hybridsweep, faults)")
 		quick          = flag.Bool("quick", false, "shortened simulation windows")
 		seed           = flag.Uint64("seed", 0, "override RNG seed (0 = default)")
 		csv            = flag.String("csv", "", "directory to write CSV files into")

@@ -132,6 +132,38 @@ const (
 	PolicyWeighted MACPolicy = "weighted"
 )
 
+// FaultKind names one kind of scheduled wireless fault.
+type FaultKind string
+
+// Supported fault kinds.
+const (
+	// FaultWIFail is a permanent fail-stop failure of one wireless
+	// interface at the scheduled cycle: the WI stops transmitting and
+	// receiving new packets, is excised from its sub-channel's turn
+	// arbitration, and traffic that would use it fails over to the
+	// wired-only route class. Requires the hybrid architecture (a pure
+	// wireless package has no failover underlay).
+	FaultWIFail FaultKind = "wi-fail"
+	// FaultOutage is a transient outage of one exclusive-model
+	// sub-channel: for Duration cycles starting at the scheduled cycle the
+	// sub-channel transmits nothing; its turn state freezes and resumes
+	// when the window ends.
+	FaultOutage FaultKind = "outage"
+)
+
+// FaultEvent is one entry of the deterministic fault schedule.
+type FaultEvent struct {
+	Cycle int64     `json:"cycle"` // simulation cycle the fault takes effect
+	Kind  FaultKind `json:"kind"`  //
+	// WI is the failed wireless interface index (wi-fail), in fabric
+	// AddWI order: chip WIs chip-major, then memory-stack WIs.
+	WI int `json:"wi,omitempty"`
+	// SubChannel is the affected exclusive-model sub-channel (outage).
+	SubChannel int `json:"sub_channel,omitempty"`
+	// Duration is the outage length in cycles (outage only).
+	Duration int64 `json:"duration,omitempty"`
+}
+
 // RouteSelect selects how the route class of each packet is chosen at
 // injection time on a hybrid package, where every distant pair has two
 // genuine media choices (the wireless overlay's single hop vs the
@@ -223,6 +255,14 @@ type Config struct {
 	WirelessHopWeight int               `json:"wireless_hop_weight"`  // routing cost of one wireless hop
 	CrossbarEgressGbp float64           `json:"crossbar_egress_gbps"` // 0 = full port rate
 	PostWirelessVCs   int               `json:"post_wireless_vcs"`    // VC class size for post-wireless travel
+
+	// Fault model (deterministic, seeded). All knobs default off; a run
+	// with WirelessPER == 0 and an empty FaultSchedule is byte-identical
+	// to the fault-free engine.
+	WirelessPER        float64      `json:"wireless_per"`         // distance-scaled packet error probability at max grid distance
+	WirelessRetryLimit int          `json:"wireless_retry_limit"` // head-flit retry budget before a packet is dropped (0 = default)
+	FaultMaxPacketAge  int64        `json:"fault_max_packet_age"` // liveness watchdog bound on injected-packet age (0 = default)
+	FaultSchedule      []FaultEvent `json:"fault_schedule,omitempty"`
 
 	// Routing.
 	Routing RoutingMode `json:"routing_mode"`
@@ -438,6 +478,14 @@ func (c Config) TotalWIs() int {
 // PortRateGbps returns the full rate of a one-flit-wide port.
 func (c Config) PortRateGbps() float64 { return float64(c.FlitBits) * c.ClockGHz }
 
+// FaultModelActive reports whether any fault-injection machinery is
+// enabled: a nonzero packet error probability or a non-empty fault
+// schedule. Every fault hook in the runtime is gated on this, so an
+// inactive fault model costs nothing and changes nothing.
+func (c Config) FaultModelActive() bool {
+	return c.WirelessPER > 0 || len(c.FaultSchedule) > 0
+}
+
 // Validate checks the configuration for internal consistency.
 func (c Config) Validate() error {
 	switch c.Arch {
@@ -565,6 +613,61 @@ func (c Config) Validate() error {
 		}
 		if c.MAC == MACToken && c.TXBufferFlits < c.PacketFlits {
 			return fmt.Errorf("config: token MAC requires tx_buffer_flits >= packet_flits (%d < %d): whole packets only", c.TXBufferFlits, c.PacketFlits)
+		}
+	} else {
+		if c.WirelessPER != 0 {
+			return fmt.Errorf("config: wireless_per is dead on a %s system (no wireless medium to corrupt)", c.Arch)
+		}
+		if len(c.FaultSchedule) != 0 {
+			return fmt.Errorf("config: fault_schedule is dead on a %s system (faults target the wireless fabric)", c.Arch)
+		}
+	}
+	if c.WirelessPER < 0 || c.WirelessPER > 1 {
+		return fmt.Errorf("config: wireless_per must be in [0,1], got %v", c.WirelessPER)
+	}
+	if c.WirelessRetryLimit < 0 {
+		return fmt.Errorf("config: wireless_retry_limit must be >= 0, got %d", c.WirelessRetryLimit)
+	}
+	if c.FaultMaxPacketAge < 0 {
+		return fmt.Errorf("config: fault_max_packet_age must be >= 0, got %d", c.FaultMaxPacketAge)
+	}
+	if !c.FaultModelActive() {
+		// Dead knobs (the PR 3 class of bug): a retry budget or watchdog
+		// bound with nothing to retry or watch would be silently ignored.
+		if c.WirelessRetryLimit != 0 {
+			return fmt.Errorf("config: wireless_retry_limit %d is dead without a fault model (set wireless_per or a fault_schedule)", c.WirelessRetryLimit)
+		}
+		if c.FaultMaxPacketAge != 0 {
+			return fmt.Errorf("config: fault_max_packet_age %d is dead without a fault model (set wireless_per or a fault_schedule)", c.FaultMaxPacketAge)
+		}
+	}
+	for i, ev := range c.FaultSchedule {
+		if ev.Cycle < 0 {
+			return fmt.Errorf("config: fault_schedule[%d]: cycle must be >= 0, got %d", i, ev.Cycle)
+		}
+		switch ev.Kind {
+		case FaultWIFail:
+			if c.Arch != ArchHybrid {
+				return fmt.Errorf("config: fault_schedule[%d]: %q requires the hybrid architecture (a %s system has no wired class to fail over to)", i, FaultWIFail, c.Arch)
+			}
+			if c.Routing != RouteShortest {
+				return fmt.Errorf("config: fault_schedule[%d]: %q requires routing_mode %q (tree routing builds no wired-only class table)", i, FaultWIFail, RouteShortest)
+			}
+			if n := c.TotalWIs(); ev.WI < 0 || ev.WI >= n {
+				return fmt.Errorf("config: fault_schedule[%d]: wi %d out of range [0,%d)", i, ev.WI, n)
+			}
+		case FaultOutage:
+			if c.Channel != ChannelExclusive {
+				return fmt.Errorf("config: fault_schedule[%d]: %q applies only to the exclusive channel model (the crossbar has no sub-channels)", i, FaultOutage)
+			}
+			if ev.SubChannel < 0 || ev.SubChannel >= c.WirelessChannels {
+				return fmt.Errorf("config: fault_schedule[%d]: sub_channel %d out of range [0,%d)", i, ev.SubChannel, c.WirelessChannels)
+			}
+			if ev.Duration < 1 {
+				return fmt.Errorf("config: fault_schedule[%d]: outage duration must be >= 1 cycle, got %d", i, ev.Duration)
+			}
+		default:
+			return fmt.Errorf("config: fault_schedule[%d]: unknown fault kind %q", i, ev.Kind)
 		}
 	}
 	if c.WarmupCycles < 0 || c.MeasureCycles <= 0 || c.DrainCycles < 0 {

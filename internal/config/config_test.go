@@ -1,6 +1,7 @@
 package config
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -206,6 +207,57 @@ func TestValidationErrors(t *testing.T) {
 			c.TXBufferFlits = c.PacketFlits
 			c.MACPolicyMode = PolicyDrainAware
 		}},
+		{"per above one", func(c *Config) { c.WirelessPER = 1.5 }},
+		{"negative per", func(c *Config) { c.WirelessPER = -0.1 }},
+		{"per on wired arch", func(c *Config) {
+			c.Arch = ArchInterposer
+			c.WirelessPER = 0.1
+		}},
+		{"schedule on wired arch", func(c *Config) {
+			c.Arch = ArchSubstrate
+			c.FaultSchedule = []FaultEvent{{Cycle: 10, Kind: FaultWIFail}}
+		}},
+		{"dead retry budget", func(c *Config) { c.WirelessRetryLimit = 4 }},
+		{"dead watchdog bound", func(c *Config) { c.FaultMaxPacketAge = 1000 }},
+		{"negative retry budget", func(c *Config) {
+			c.WirelessPER = 0.1
+			c.WirelessRetryLimit = -1
+		}},
+		{"negative fault cycle", func(c *Config) {
+			c.Arch = ArchHybrid
+			c.FaultSchedule = []FaultEvent{{Cycle: -1, Kind: FaultWIFail}}
+		}},
+		{"unknown fault kind", func(c *Config) {
+			c.Arch = ArchHybrid
+			c.FaultSchedule = []FaultEvent{{Cycle: 10, Kind: "gremlin"}}
+		}},
+		{"wi-fail without wired failover class", func(c *Config) {
+			// Arch stays wireless: no wired class to reroute onto.
+			c.FaultSchedule = []FaultEvent{{Cycle: 10, Kind: FaultWIFail, WI: 0}}
+		}},
+		{"wi-fail on tree routing", func(c *Config) {
+			c.Arch = ArchHybrid
+			c.Routing = RouteTree
+			c.FaultSchedule = []FaultEvent{{Cycle: 10, Kind: FaultWIFail, WI: 0}}
+		}},
+		{"wi-fail index out of range", func(c *Config) {
+			// 4C4M deploys 8 WIs (4 chip + 4 stack).
+			c.Arch = ArchHybrid
+			c.FaultSchedule = []FaultEvent{{Cycle: 10, Kind: FaultWIFail, WI: 8}}
+		}},
+		{"outage on crossbar", func(c *Config) {
+			c.FaultSchedule = []FaultEvent{{Cycle: 10, Kind: FaultOutage, SubChannel: 0, Duration: 50}}
+		}},
+		{"outage sub-channel out of range", func(c *Config) {
+			c.Channel = ChannelExclusive
+			c.WirelessChannels = 1
+			c.FaultSchedule = []FaultEvent{{Cycle: 10, Kind: FaultOutage, SubChannel: 1, Duration: 50}}
+		}},
+		{"zero outage duration", func(c *Config) {
+			c.Channel = ChannelExclusive
+			c.WirelessChannels = 1
+			c.FaultSchedule = []FaultEvent{{Cycle: 10, Kind: FaultOutage, SubChannel: 0}}
+		}},
 	}
 	for _, tc := range mutations {
 		t.Run(tc.name, func(t *testing.T) {
@@ -229,6 +281,33 @@ func TestMultiChannelAssignmentsValid(t *testing.T) {
 				t.Fatalf("%s K=%d rejected: %v", assign, k, err)
 			}
 		}
+	}
+}
+
+// TestFaultConfigsValid covers the accepted fault-model shapes: a bare PER
+// curve on any wireless-bearing arch, a retry budget and watchdog bound
+// riding an active model, an outage on the exclusive fabric and a WI
+// fail-stop on the hybrid.
+func TestFaultConfigsValid(t *testing.T) {
+	per := MustXCYM(4, 4, ArchWireless)
+	per.WirelessPER = 0.05
+	per.WirelessRetryLimit = 4
+	per.FaultMaxPacketAge = 100000
+	if err := per.Validate(); err != nil {
+		t.Fatalf("PER config rejected: %v", err)
+	}
+	out := MustXCYM(4, 4, ArchWireless)
+	out.Channel = ChannelExclusive
+	out.ChannelAssign = AssignStaticPartition
+	out.WirelessChannels = 2
+	out.FaultSchedule = []FaultEvent{{Cycle: 100, Kind: FaultOutage, SubChannel: 1, Duration: 50}}
+	if err := out.Validate(); err != nil {
+		t.Fatalf("outage config rejected: %v", err)
+	}
+	kill := MustXCYM(4, 4, ArchHybrid)
+	kill.FaultSchedule = []FaultEvent{{Cycle: 100, Kind: FaultWIFail, WI: 7}}
+	if err := kill.Validate(); err != nil {
+		t.Fatalf("wi-fail config rejected: %v", err)
 	}
 }
 
@@ -329,7 +408,7 @@ func TestJSONRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if back != orig {
+	if !reflect.DeepEqual(back, orig) {
 		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", back, orig)
 	}
 }

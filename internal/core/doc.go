@@ -99,4 +99,29 @@
 // [17]) whenever announced traffic is not addressed to them; every WI
 // wakes for control broadcasts, so higher K trades a higher awake fraction
 // for concurrency.
+//
+// # Fault model
+//
+// fault.go adds a seeded, deterministic fault-injection layer over the
+// exclusive fabric (armed only while config.FaultModelActive; a fault-free
+// configuration runs the exact pre-fault code path, byte-identical):
+//
+//   - Packet error probability: per-pair PER scaled by squared grid
+//     distance (path loss), wireless_per at the farthest pair. A corrupted
+//     flit fails CRC at the receiving WI, NACKs, and retransmits under
+//     exponential per-WI backoff; an uncommitted head flit burns a
+//     wireless_retry_limit budget and the packet is abandoned (Drops,
+//     RetryExhausted) when it runs out, the transmitter entering a
+//     degraded window the engine's failover selector routes around.
+//   - Fault schedule: config.FaultSchedule injects transient sub-channel
+//     outage windows (the channel freezes; a delay, never a loss) and
+//     permanent fail-stop WI deaths at exact cycles. A dead WI is excised
+//     from its sub-channel's turn machinery — uncommitted queued packets
+//     drop with credits returned, committed wormholes drain, survivors
+//     keep arbitrating (the starvation test pins this) — and later
+//     arrivals at the dead transceiver drop at acceptance.
+//
+// Every dropped flit is counted in DroppedFlits so flit conservation
+// holds with loss; FaultNotice callbacks surface drop/retransmit/wi-fail
+// events to the engine's trace.
 package core

@@ -72,6 +72,10 @@ type Fabric struct {
 	weighted  bool
 	busySubs  int
 
+	// faults is the deterministic fault model (see fault.go), nil — with
+	// zero cost and zero rng draws — unless config.FaultModelActive.
+	faults *faultState
+
 	// Statistics.
 	ControlPackets int64
 	TokenPasses    int64
@@ -88,6 +92,15 @@ type Fabric struct {
 	DrainExtended      int64
 	TurnCancels        int64
 	AnnounceUnderflows int64
+	// Fault-model statistics: Drops counts packets abandoned by the fault
+	// model (retry exhaustion, fail-stop WI failures), RetryExhausted the
+	// subset dropped for an exhausted head-flit retry budget, and
+	// DroppedFlits every flit the model removed from the fabric (splices,
+	// stragglers and dead-transceiver arrivals) — the conservation-check
+	// complement of the removed packets.
+	Drops          int64
+	RetryExhausted int64
+	DroppedFlits   int64
 }
 
 // subChannel is one orthogonal mm-wave sub-channel of the exclusive
@@ -97,6 +110,7 @@ type Fabric struct {
 // independently, so up to K transmissions proceed concurrently; a member
 // may address any WI in the package (receivers are multi-band).
 type subChannel struct {
+	idx     int // position in Fabric.subs (fault-model outage lookup)
 	members []*WI
 	bucket  sim.TokenBucket
 
@@ -270,6 +284,7 @@ func (fb *Fabric) ensureChannels() {
 	fb.subs = make([]*subChannel, k)
 	for i := range fb.subs {
 		fb.subs[i] = &subChannel{
+			idx:           i,
 			bucket:        sim.NewTokenBucket(fb.chanRate),
 			announceDests: make(map[int]bool),
 			qHead:         -1,
@@ -624,6 +639,9 @@ func (fb *Fabric) transmit(now sim.Cycle, src *WI, q int) bool {
 	if vc < 0 {
 		panic(fmt.Sprintf("core: reserved flit of pkt %d has no rx VC", f.Pkt.ID))
 	}
+	if fs := fb.faults; fs != nil && now < fs.backoffUntil[src.Index] {
+		return false // NACK backoff: the transmitter holds off
+	}
 	if !src.egress.TrySpendAt(now) {
 		return false
 	}
@@ -639,6 +657,19 @@ func (fb *Fabric) transmit(now sim.Cycle, src *WI, q int) bool {
 		f.Pkt.Retransmits++
 		fb.Retransmits++
 		return false
+	}
+	if fs := fb.faults; fs != nil {
+		if pr := fs.per[src.Index][dst.Index]; pr > 0 && fb.rng.Float64() < pr {
+			fb.faultCorrupt(now, src, q, e)
+			return false
+		}
+		fs.consecFails[src.Index] = 0
+		if fs.dead[src.Index] || fs.dead[dst.Index] {
+			// A committed wormhole draining through a failed transceiver
+			// completes, but its payload is lost: mark the packet a fault
+			// casualty so the collector excludes it from goodput.
+			f.Pkt.Faulted = true
+		}
 	}
 
 	src.popTx(q)

@@ -48,6 +48,11 @@ func (fb *Fabric) launchExclusive(now sim.Cycle) {
 // launchSub advances one sub-channel's MAC by one cycle, reporting whether
 // it spent the cycle in a control broadcast (every receiver must wake).
 func (fb *Fabric) launchSub(sub *subChannel, now sim.Cycle) bool {
+	if fs := fb.faults; fs != nil && now < fs.outUntil[sub.idx] {
+		// Scheduled outage: the sub-channel is frozen mid-state (an open
+		// turn holds and resumes unchanged when the window ends).
+		return false
+	}
 	if sub.phase == phaseIdle {
 		if !fb.selectTurn(sub) {
 			return false // work-conserving: no member has traffic

@@ -69,6 +69,20 @@ func (fb *Fabric) selectTurn(sub *subChannel) bool {
 		}
 		return true
 	default: // PolicyRotate
+		if fs := fb.faults; fs != nil {
+			// Excise fail-stopped members from the fixed rotation: a dead
+			// member keeps its turn only while committed flits remain to
+			// drain; dead-and-drained members are skipped so the zone keeps
+			// arbitrating among survivors.
+			for range sub.members {
+				w := sub.members[sub.turn]
+				if !fs.dead[w.Index] || w.txLen > 0 {
+					return true
+				}
+				sub.turn = (sub.turn + 1) % len(sub.members)
+			}
+			return false
+		}
 		return true
 	}
 }

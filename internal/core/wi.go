@@ -71,6 +71,7 @@ type txEntry struct {
 	f        noc.Flit
 	dest     *WI
 	reserved bool // receive space already taken (announce or retry)
+	tries    int  // fault model: corrupted transmissions of this head flit
 }
 
 // OutPort returns the wireless output port index on the host switch.
@@ -93,7 +94,10 @@ func (w *WI) CanAccept(sim.Cycle) bool { return true }
 
 // Accept implements noc.Conduit: a flit enters the TX queue of its output
 // VC. The next-hop switch chosen by routing identifies the destination WI.
-func (w *WI) Accept(_ sim.Cycle, f noc.Flit, next sim.SwitchID) {
+func (w *WI) Accept(now sim.Cycle, f noc.Flit, next sim.SwitchID) {
+	if w.fb.faults != nil && w.fb.acceptFaulted(now, w, f) {
+		return // fault model consumed the flit (dead WI / abandoned packet)
+	}
 	dest, ok := w.fb.wiOf[next]
 	if !ok {
 		panic(fmt.Sprintf("core: WI %d asked to transmit to switch %d which has no WI", w.Index, next))

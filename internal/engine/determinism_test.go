@@ -123,6 +123,45 @@ func determinismParams() []Params {
 	ber.MeasureCycles = 800
 	ber.WirelessBER = 0.001
 
+	// Fault-model configurations: the distance-scaled PER curve with NACK
+	// retransmission and backoff, a transient sub-channel outage window,
+	// and a permanent WI fail-stop with wired-class failover all mutate
+	// scheduling-sensitive MAC and selector state and must stay
+	// byte-identical across runs and scheduling paths.
+	per := config.MustXCYM(4, 4, config.ArchWireless)
+	per.Name = "per"
+	per.WarmupCycles = 100
+	per.MeasureCycles = 800
+	per.Channel = config.ChannelExclusive
+	per.ChannelAssign = config.AssignSpatialReuse
+	per.WirelessChannels = 2
+	per.WirelessPER = 0.05
+	per.WirelessRetryLimit = 4
+
+	outage := config.MustXCYM(4, 4, config.ArchWireless)
+	outage.Name = "outage"
+	outage.WarmupCycles = 100
+	outage.MeasureCycles = 800
+	outage.Channel = config.ChannelExclusive
+	outage.ChannelAssign = config.AssignStaticPartition
+	outage.WirelessChannels = 2
+	outage.FaultSchedule = []config.FaultEvent{
+		{Cycle: 150, Kind: config.FaultOutage, SubChannel: 1, Duration: 200},
+	}
+
+	wifail := config.MustXCYM(4, 4, config.ArchHybrid)
+	wifail.Name = "wifail"
+	wifail.WarmupCycles = 100
+	wifail.MeasureCycles = 800
+	wifail.Channel = config.ChannelExclusive
+	wifail.ChannelAssign = config.AssignSpatialReuse
+	wifail.WirelessChannels = 2
+	wifail.RouteSelectMode = config.SelectAdaptive
+	wifail.WirelessPER = 0.02
+	wifail.FaultSchedule = []config.FaultEvent{
+		{Cycle: 150, Kind: config.FaultWIFail, WI: 2},
+	}
+
 	wired := config.MustXCYM(4, 4, config.ArchInterposer)
 	wired.WarmupCycles = 200
 	wired.MeasureCycles = 1500
@@ -147,6 +186,9 @@ func determinismParams() []Params {
 		{Cfg: tokenSkip, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.0003, MemFraction: 0.2}},
 		{Cfg: adaptive, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 1.0, MemFraction: 0.2, PacketFlits: 16}},
 		{Cfg: ber, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.0005, MemFraction: 0.2}},
+		{Cfg: per, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.0005, MemFraction: 0.2}},
+		{Cfg: outage, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.0005, MemFraction: 0.2}},
+		{Cfg: wifail, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 1.0, MemFraction: 0.2, PacketFlits: 16}},
 		{Cfg: wired, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.002, MemFraction: 0.2}},
 	}
 }

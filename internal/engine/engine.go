@@ -96,6 +96,12 @@ type Engine struct {
 	// selector picks each packet's route class at injection; nil on
 	// single-class systems and under static selection (class 0 always).
 	selector route.Selector
+	// fsel is the fault-failover wrapper around selector (hybrid
+	// multi-class runs with the fault model active); nil otherwise.
+	fsel *faultSelector
+	// wd is the liveness watchdog, non-nil exactly while the fault model
+	// is active (it doubles as the engine's faults-active flag).
+	wd *watchdog
 	// outToward maps a switch to the wired output port feeding each
 	// neighbor (kept from build for the selector's wired-headroom probe).
 	outToward map[sim.SwitchID]map[sim.SwitchID]int
@@ -217,6 +223,12 @@ func New(p Params) (*Engine, error) {
 		return nil, fmt.Errorf("engine: the single-class reference table models only route_select %q, got %q",
 			config.SelectStatic, config.SelectAdaptive)
 	}
+	if p.LegacySingleChannel && cfg.FaultModelActive() {
+		return nil, fmt.Errorf("engine: the legacy single-channel MAC has no fault hooks; wireless_per / fault_schedule require the sub-channel fabric")
+	}
+	if p.SingleClassTable && cfg.FaultModelActive() {
+		return nil, fmt.Errorf("engine: the single-class reference table has no wired-only failover class; wireless_per / fault_schedule require the multi-class build")
+	}
 	g, err := topo.BuildWorkers(cfg, p.BuildWorkers)
 	if err != nil {
 		return nil, err
@@ -326,7 +338,12 @@ func (e *Engine) build() error {
 	// still needs until the data reply is issued.
 	delivered := func(now sim.Cycle, p *noc.Packet) {
 		e.coll.OnDelivered(now, p)
-		keep := p.Read && p.Class == noc.ClassCoreToMem
+		if e.wd != nil {
+			e.wd.remove(p.ID)
+		}
+		// A Faulted read request lost its payload crossing a failed
+		// transceiver; the DRAM channel never sees it, so no reply.
+		keep := p.Read && p.Class == noc.ClassCoreToMem && !p.Faulted
 		if keep {
 			e.replies.push(pendingReply{
 				readyAt: now + sim.Cycle(e.cfg.MemServiceCycles),
@@ -407,6 +424,30 @@ func (e *Engine) build() error {
 		for _, ep := range e.endpoints {
 			ep.SetClassifier(e.classifyPacket)
 		}
+	}
+
+	// Fault model: activate the fabric's deterministic fault state, wrap
+	// the selector with dead/degraded-WI failover onto the wired-only class
+	// (hybrid multi-class builds), start the liveness watchdog, and observe
+	// fabric fault events for the trace and watchdog bookkeeping.
+	if e.fabric != nil && cfg.FaultModelActive() {
+		e.fabric.InitFaults()
+		if e.tables.MultiClass() {
+			inner := e.selector
+			if inner == nil {
+				inner = route.StaticSelector{}
+			}
+			e.fsel = &faultSelector{inner: inner, ct: e.tables, fb: e.fabric}
+			e.selector = e.fsel
+			for _, ep := range e.endpoints {
+				ep.SetClassifier(e.classifyPacket)
+			}
+		}
+		e.wd = newWatchdog(watchdogBound(cfg))
+		for _, ep := range e.endpoints {
+			ep.SetInjectionHook(e.wd.onInjected)
+		}
+		e.fabric.SetFaultNotifier(e.onFaultNotice)
 	}
 
 	// Traffic world.
@@ -546,12 +587,19 @@ func (e *Engine) loadProbe(txWI, src, dst sim.SwitchID) route.LoadSignals {
 // injection VC (installed on every endpoint only when a selector exists,
 // so single-class and static runs leave the injection path untouched).
 func (e *Engine) classifyPacket(now sim.Cycle, p *noc.Packet) {
+	var failoversBefore int64
+	if e.fsel != nil {
+		failoversBefore = e.fsel.Failovers
+	}
 	c := e.selector.Pick(now, e.graph.Endpoints[p.Src].Switch, e.graph.Endpoints[p.Dst].Switch)
 	if int(c) >= int(route.NumClasses) {
 		c = route.ClassWirelessPreferred
 	}
 	p.RouteClass = uint8(c)
 	e.classPackets[c]++
+	if e.fsel != nil && e.fsel.Failovers > failoversBefore && e.trace != nil {
+		e.traceFault(now, core.FaultNotice{Kind: "failover", WI: -1, Pkt: p})
+	}
 }
 
 // Fabric exposes the wireless fabric, nil for wired architectures.

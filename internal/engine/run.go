@@ -68,6 +68,24 @@ type Result struct {
 	RouteSpills  int64 `json:"route_spills,omitempty"`
 	RouteReturns int64 `json:"route_returns,omitempty"`
 
+	// Per-route-class delivered-packet breakdown (same measured sample as
+	// AvgLatency), populated whenever a route selector exists — it makes
+	// the latency and energy cost of wired-class failover directly visible
+	// in sweep tables. Omitted on single-class and static runs.
+	RouteClassAvgLatency  map[string]float64 `json:"route_class_avg_latency_cycles,omitempty"`
+	RouteClassAvgEnergyPJ map[string]float64 `json:"route_class_avg_energy_pj,omitempty"`
+
+	// Fault model (all zero / omitted when the fault model is off):
+	// FaultDrops counts packets the model abandoned (retry exhaustion +
+	// fail-stop WI failures), FaultRetryExhausted the retry-budget subset,
+	// FaultCasualties delivered packets whose payload a dead transceiver
+	// lost (excluded from goodput), and FaultFailovers packets rerouted
+	// onto the wired-only class by the failover selector.
+	FaultDrops          int64 `json:"fault_drops,omitempty"`
+	FaultRetryExhausted int64 `json:"fault_retry_exhausted,omitempty"`
+	FaultCasualties     int64 `json:"fault_casualties,omitempty"`
+	FaultFailovers      int64 `json:"fault_failovers,omitempty"`
+
 	// Wireless protocol counters (zero for wired architectures).
 	ControlPackets  int64   `json:"control_packets"`
 	TokenPasses     int64   `json:"token_passes"`
@@ -83,6 +101,9 @@ func (e *Engine) Run() (*Result, error) {
 	total := e.cfg.WarmupCycles + e.cfg.MeasureCycles + e.cfg.DrainCycles
 	for ; e.now < total; e.now++ {
 		e.step()
+		if e.wd != nil && e.wd.err != nil {
+			return nil, e.wd.err
+		}
 	}
 	if e.fabric != nil {
 		// Settle the sleep/awake accounting of trailing idle cycles whose
@@ -107,6 +128,12 @@ func (e *Engine) Run() (*Result, error) {
 // FullTick reference path — same seed, byte-identical Result.
 func (e *Engine) step() {
 	now := e.now
+	if e.wd != nil {
+		// Fault model active: fire scheduled fault events before the MAC
+		// arbitrates, and check the liveness invariant every cycle.
+		e.fabric.ApplyFaults(now)
+		e.wd.check(now)
+	}
 	if e.fabric != nil && (e.fullTick || e.fabric.LaunchNeeded()) {
 		e.fabric.Launch(now)
 	}
@@ -339,11 +366,17 @@ func (e *Engine) results() (*Result, error) {
 		r.ControlPackets = e.fabric.ControlPackets
 		r.TokenPasses = e.fabric.TokenPasses
 		r.Retransmits = e.fabric.Retransmits
+		r.FaultDrops = e.fabric.Drops
+		r.FaultRetryExhausted = e.fabric.RetryExhausted
+		r.FaultCasualties = coll.FaultCasualties
 		for _, w := range e.fabric.WIs() {
 			if w.MaxTxDepth > r.WIMaxTxDepth {
 				r.WIMaxTxDepth = w.MaxTxDepth
 			}
 		}
+	}
+	if e.fsel != nil {
+		r.FaultFailovers = e.fsel.Failovers
 	}
 	if e.selector != nil {
 		r.RouteClassPackets = make(map[string]int64, len(e.classPackets))
@@ -352,7 +385,24 @@ func (e *Engine) results() (*Result, error) {
 				r.RouteClassPackets[route.RouteClass(c).String()] = n
 			}
 		}
-		if a, ok := e.selector.(*route.AdaptiveSelector); ok {
+		for c := 0; c < int(route.NumClasses) && c < len(coll.RCPackets); c++ {
+			if coll.RCPackets[c] == 0 {
+				continue
+			}
+			if r.RouteClassAvgLatency == nil {
+				r.RouteClassAvgLatency = make(map[string]float64, 2)
+				r.RouteClassAvgEnergyPJ = make(map[string]float64, 2)
+			}
+			name := route.RouteClass(c).String()
+			r.RouteClassAvgLatency[name] = coll.RCLatSum[c] / float64(coll.RCPackets[c])
+			r.RouteClassAvgEnergyPJ[name] = coll.RCEnergy[c] / float64(coll.RCPackets[c])
+		}
+		// The adaptive selector may sit inside the fault-failover wrapper.
+		sel := e.selector
+		if e.fsel != nil {
+			sel = e.fsel.inner
+		}
+		if a, ok := sel.(*route.AdaptiveSelector); ok {
 			r.RouteSpills = a.Spills
 			r.RouteReturns = a.Returns
 		}
@@ -418,6 +468,11 @@ func (e *Engine) CheckPipelineInvariants() error {
 			return err
 		}
 	}
+	if e.wd != nil {
+		if err := e.wd.check(e.now); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -437,17 +492,19 @@ func (e *Engine) CheckFlitConservation() error {
 	for _, l := range e.links {
 		inNet += int64(l.InFlight())
 	}
+	var dropped int64
 	if e.fabric != nil {
 		inNet += int64(e.fabric.BufferedTxFlits() + e.fabric.PendingLen())
+		dropped = e.fabric.DroppedFlits
 	}
 	// NI-internal queues.
 	var niHeld int64
 	for _, ep := range e.endpoints {
 		niHeld += int64(ep.InFlightFlits())
 	}
-	if sent != consumed+inNet+niHeld {
-		return fmt.Errorf("engine: flit conservation violated: sent=%d consumed=%d in-network=%d ni-held=%d",
-			sent, consumed, inNet, niHeld)
+	if sent != consumed+inNet+niHeld+dropped {
+		return fmt.Errorf("engine: flit conservation violated: sent=%d consumed=%d in-network=%d ni-held=%d fault-dropped=%d",
+			sent, consumed, inNet, niHeld, dropped)
 	}
 	return nil
 }

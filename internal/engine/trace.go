@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"fmt"
 
+	"wimc/internal/core"
 	"wimc/internal/noc"
 	"wimc/internal/route"
 	"wimc/internal/sim"
@@ -50,6 +51,39 @@ func (e *Engine) tracePacket(p *noc.Packet) {
 	}
 	if p.RouteClass != 0 {
 		rec.RouteClass = route.RouteClass(p.RouteClass).String()
+	}
+	data, err := json.Marshal(rec)
+	if err != nil {
+		e.traceErr = fmt.Errorf("engine: trace encode: %w", err)
+		return
+	}
+	data = append(data, '\n')
+	if _, err := e.trace.Write(data); err != nil {
+		e.traceErr = fmt.Errorf("engine: trace write: %w", err)
+	}
+}
+
+// FaultTraceRecord is one line of the fault-event trace, interleaved with
+// the packet records on the same writer; the "fault" key distinguishes the
+// two record types.
+type FaultTraceRecord struct {
+	Fault string    `json:"fault"` // "retransmit" | "drop" | "wi-fail" | "failover"
+	Cycle sim.Cycle `json:"cycle"`
+	WI    int       `json:"wi"` // fabric WI index; -1 when not WI-specific
+	Pkt   uint64    `json:"pkt,omitempty"`
+	// Reason is the drop cause: "retry-exhausted" or "wi-fail".
+	Reason string `json:"reason,omitempty"`
+}
+
+// traceFault emits one JSON line for a fault-model event, on the same
+// writer (and with the same first-error retention) as the packet trace.
+func (e *Engine) traceFault(now sim.Cycle, n core.FaultNotice) {
+	if e.trace == nil || e.traceErr != nil {
+		return
+	}
+	rec := FaultTraceRecord{Fault: n.Kind, Cycle: now, WI: n.WI, Reason: n.Reason}
+	if n.Pkt != nil {
+		rec.Pkt = n.Pkt.ID
 	}
 	data, err := json.Marshal(rec)
 	if err != nil {

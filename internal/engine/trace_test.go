@@ -45,6 +45,82 @@ func TestPacketTrace(t *testing.T) {
 	}
 }
 
+// TestFaultTrace interleaves fault events with packet deliveries on one
+// trace writer and checks the ledger both ways: packet lines match
+// delivered packets, drop lines match the drop counter, every scheduled
+// WI death is announced, and failover reroutes are traced.
+func TestFaultTrace(t *testing.T) {
+	var buf bytes.Buffer
+	cfg := faultCfg(4)
+	cfg.RouteSelectMode = config.SelectAdaptive
+	cfg.WirelessPER = 0.6
+	cfg.WirelessRetryLimit = 2
+	cfg.DrainCycles = 60000
+	cfg.FaultSchedule = []config.FaultEvent{
+		{Cycle: 150, Kind: config.FaultWIFail, WI: 1},
+	}
+	e, err := New(Params{
+		Cfg:     cfg,
+		Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.005, MemFraction: 0.2},
+		Trace:   &buf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := e.Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var packets int64
+	kinds := map[string]int64{}
+	sc := bufio.NewScanner(&buf)
+	for sc.Scan() {
+		var probe map[string]json.RawMessage
+		if err := json.Unmarshal(sc.Bytes(), &probe); err != nil {
+			t.Fatalf("bad trace line: %v", err)
+		}
+		if _, isFault := probe["fault"]; !isFault {
+			packets++
+			continue
+		}
+		var rec FaultTraceRecord
+		if err := json.Unmarshal(sc.Bytes(), &rec); err != nil {
+			t.Fatalf("bad fault trace line: %v", err)
+		}
+		kinds[rec.Fault]++
+		switch rec.Fault {
+		case "retransmit", "drop", "wi-fail":
+			if rec.WI < 0 {
+				t.Fatalf("%s record without a WI index: %+v", rec.Fault, rec)
+			}
+		case "failover":
+			if rec.Pkt == 0 {
+				t.Fatalf("failover record without a packet: %+v", rec)
+			}
+		default:
+			t.Fatalf("unknown fault record kind %q", rec.Fault)
+		}
+	}
+	if packets != r.DeliveredPackets {
+		t.Fatalf("trace has %d packet lines, delivered %d", packets, r.DeliveredPackets)
+	}
+	if kinds["wi-fail"] != 1 {
+		t.Fatalf("wi-fail records = %d, want 1", kinds["wi-fail"])
+	}
+	if kinds["drop"] != r.FaultDrops {
+		t.Fatalf("drop records = %d, counter says %d", kinds["drop"], r.FaultDrops)
+	}
+	if kinds["retransmit"] != r.Retransmits {
+		t.Fatalf("retransmit records = %d, counter says %d", kinds["retransmit"], r.Retransmits)
+	}
+	if kinds["failover"] != r.FaultFailovers {
+		t.Fatalf("failover records = %d, counter says %d", kinds["failover"], r.FaultFailovers)
+	}
+	if kinds["failover"] == 0 {
+		t.Fatal("no failover events traced after a WI death")
+	}
+}
+
 type failingWriter struct{}
 
 func (failingWriter) Write([]byte) (int, error) { return 0, fmt.Errorf("disk full") }

@@ -177,14 +177,16 @@ func reductionPct(base, sys float64) float64 {
 }
 
 // Experiments lists every experiment ID in run order: the paper's five
-// figures, the five DESIGN.md ablations, and six extension experiments
+// figures, the five DESIGN.md ablations, and seven extension experiments
 // (hybrid architecture, memory read round trips, the large-system scale
 // sweep, the sub-channel/spatial-reuse sweep, the MAC arbitration-policy
-// sweep, and the hybrid route-selection sweep).
+// sweep, the hybrid route-selection sweep, and the fault-injection
+// resilience sweep).
 func Experiments() []string {
 	return []string{"fig2", "fig3", "fig4", "fig5", "fig6",
 		"mac", "channel", "routing", "sleep", "density",
-		"hybrid", "readrt", "scale", "channels", "policies", "hybridsweep"}
+		"hybrid", "readrt", "scale", "channels", "policies", "hybridsweep",
+		"faults"}
 }
 
 // Run executes one experiment by ID.
@@ -222,6 +224,8 @@ func Run(id string, o Opts) (*Table, error) {
 		return PolicySweep(o)
 	case "hybridsweep":
 		return HybridSweep(o)
+	case "faults":
+		return FaultSweep(o)
 	default:
 		return nil, fmt.Errorf("figures: unknown experiment %q (have %v)", id, Experiments())
 	}

@@ -98,6 +98,12 @@ type Packet struct {
 	// channel errors.
 	Retransmits int32
 
+	// Faulted marks a fault casualty: the packet crossed a fail-stopped
+	// wireless transceiver (its committed wormhole completed so buffers and
+	// VCs unwind cleanly, but the payload is lost). The statistics collector
+	// excludes Faulted deliveries from goodput and latency samples.
+	Faulted bool
+
 	// Read marks a memory request that expects a data reply from the DRAM
 	// channel.
 	Read bool

@@ -58,6 +58,21 @@ type Collector struct {
 
 	// Totals over the whole run (conservation checks).
 	TotalDelivered int64
+
+	// FaultCasualties counts delivered packets the fault model marked
+	// Faulted (their committed wormhole crossed a fail-stopped transceiver,
+	// so they unwound buffers cleanly but lost their payload). Casualties
+	// are excluded from every throughput, latency and energy statistic
+	// above; TotalDelivered still includes them.
+	FaultCasualties int64
+
+	// Per-route-class measured accumulation (indexed by noc.Packet
+	// RouteClass: 0 wireless-preferred, 1 wired-only), over the same sample
+	// as Packets — it makes the latency and energy cost of wired-class
+	// failover directly visible.
+	RCPackets [2]int64
+	RCLatSum  [2]float64
+	RCEnergy  [2]float64
 }
 
 // NewCollector returns a collector measuring [warmup, windowEnd).
@@ -68,6 +83,10 @@ func NewCollector(warmup, windowEnd sim.Cycle, flitBits int) *Collector {
 // OnDelivered records a delivered packet.
 func (c *Collector) OnDelivered(now sim.Cycle, p *noc.Packet) {
 	c.TotalDelivered++
+	if p.Faulted {
+		c.FaultCasualties++
+		return
+	}
 	if now >= c.WarmupCycle && now < c.WindowEnd {
 		c.WindowPackets++
 		c.WindowFlits += int64(p.NumFlits)
@@ -92,6 +111,11 @@ func (c *Collector) OnDelivered(now sim.Cycle, p *noc.Packet) {
 		c.MaxLatency = lat
 	}
 	c.latHist[bucketOf(lat)]++
+	if rc := int(p.RouteClass); rc < len(c.RCPackets) {
+		c.RCPackets[rc]++
+		c.RCLatSum[rc] += float64(lat)
+		c.RCEnergy[rc] += p.EnergyPJ
+	}
 	switch p.Class {
 	case noc.ClassCoreToMem:
 		c.CoreToMem++

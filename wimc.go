@@ -134,6 +134,24 @@ const (
 	SelectAdaptive = config.SelectAdaptive
 )
 
+// FaultKind names one kind of deterministic fault-schedule event.
+type FaultKind = config.FaultKind
+
+// FaultEvent is one entry of Config.FaultSchedule: a permanent fail-stop
+// WI death or a transient sub-channel outage window at an exact cycle.
+// With Config.WirelessPER it arms the fault model (distance-scaled packet
+// error probability, CRC/NACK retransmission under exponential backoff, a
+// retry budget, wired-class failover on hybrids and an every-cycle
+// liveness watchdog); a zero PER with an empty schedule runs the exact
+// fault-free code path, byte-identical.
+type FaultEvent = config.FaultEvent
+
+// Fault-schedule event kinds.
+const (
+	FaultWIFail = config.FaultWIFail
+	FaultOutage = config.FaultOutage
+)
+
 // TrafficKind selects the workload generator.
 type TrafficKind = engine.TrafficKind
 
