@@ -7,7 +7,7 @@
 // Usage:
 //
 //	wimcbench [-fig all|fig2|fig3|fig4|fig5|fig6|mac|channel|routing|sleep|density|hybrid|readrt|scale|channels|policies|hybridsweep|faults]
-//	          [-quick] [-seed N] [-csv DIR] [-parallel=false] [-workers N]
+//	          [-quick] [-seed N] [-csv DIR] [-parallel=false] [-workers N] [-shards N]
 //	          [-scale-sizes 4,16,64] [-channel-ks 1,2,4,8]
 //	          [-channel-assign spatial-reuse|static-partition] [-mac-policies rotate,skip-empty,...]
 //	          [-check BASELINE.json] [-check-out OUT.json] [-check-threshold 15]
@@ -41,6 +41,7 @@ func main() {
 		checkBaseline  = flag.String("check", "", "bench-regression gate: run the quick throughput bench and fail if cycles/s regresses vs this baseline JSON")
 		checkOut       = flag.String("check-out", "bench_check.json", "where -check writes its measurement JSON")
 		checkThreshold = flag.Float64("check-threshold", 15, "allowed cycles/s regression in percent for -check")
+		shards         = flag.Int("shards", 0, "worker shards per simulation tick (0 = serial engine; results are byte-identical at any shard count)")
 	)
 	flag.Parse()
 
@@ -80,6 +81,7 @@ func main() {
 		ScaleSizes: sizes, ChannelKs: ks,
 		ChannelAssign: config.ChannelAssignment(*channelAssign),
 		Policies:      policies,
+		Shards:        *shards,
 	}
 	if !*parallel {
 		opts.Workers = 1

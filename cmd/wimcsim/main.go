@@ -6,7 +6,7 @@
 //	wimcsim [-chips 4] [-stacks 0] [-arch wireless|interposer|substrate|hybrid]
 //	        [-traffic uniform|hotspot|transpose|bit-complement|app]
 //	        [-rate 0.002] [-mem 0.2] [-app canneal]
-//	        [-cycles 10000] [-seed 1] [-config file.json] [-json]
+//	        [-cycles 10000] [-seed 1] [-shards 4] [-config file.json] [-json]
 //	        [-trace packets.jsonl]
 //
 // Any chip count is accepted: 1/4/8 use the paper's geometries, other
@@ -36,6 +36,7 @@ func main() {
 		app     = flag.String("app", "canneal", "application name (app kind)")
 		cycles  = flag.Int64("cycles", 0, "override measurement cycles (0 = config default)")
 		seed    = flag.Uint64("seed", 0, "override RNG seed (0 = config default)")
+		shards  = flag.Int("shards", 0, "worker shards per simulation tick (0 = serial engine; results are byte-identical at any shard count)")
 		cfgFile = flag.String("config", "", "JSON configuration file (overrides -chips/-arch)")
 		asJSON  = flag.Bool("json", false, "emit the full result as JSON")
 		traceTo = flag.String("trace", "", "write a packet-level JSONL delivery trace to this file")
@@ -51,6 +52,9 @@ func main() {
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
+	}
+	if *shards != 0 {
+		cfg.EngineShards = *shards
 	}
 
 	spec := wimc.TrafficSpec{

@@ -10,6 +10,7 @@ package config
 import (
 	"encoding/json"
 	"fmt"
+	"math"
 	"strings"
 )
 
@@ -277,6 +278,14 @@ type Config struct {
 	WarmupCycles  int64  `json:"warmup_cycles"`
 	MeasureCycles int64  `json:"measure_cycles"`
 	DrainCycles   int64  `json:"drain_cycles"` // post-measurement drain window
+	// EngineShards splits one run across that many worker goroutines: the
+	// chip grid is partitioned into contiguous row bands and every shard
+	// ticks its own switches, links and endpoints each cycle, synchronized
+	// at per-cycle barriers with single-writer mailboxes on the boundary
+	// links. Results are byte-identical at every shard count (the engine's
+	// determinism matrix pins this). 0 or 1 selects the serial engine; the
+	// engine clamps the count to the global mesh-row count.
+	EngineShards int `json:"engine_shards,omitempty"`
 }
 
 // Default returns the baseline configuration shared by every experiment in
@@ -565,6 +574,21 @@ func (c Config) Validate() error {
 			return fmt.Errorf("config: %s must be >= %d, got %d", b.name, b.min, b.v)
 		}
 	}
+	// NaN compares false against every bound below, so non-finite floats
+	// would otherwise sail through the range checks (found by FuzzValidate).
+	for _, fk := range []struct {
+		name string
+		v    float64
+	}{
+		{"clock_ghz", c.ClockGHz},
+		{"wireless_gbps", c.WirelessGbps},
+		{"wireless_ber", c.WirelessBER},
+		{"wireless_per", c.WirelessPER},
+	} {
+		if math.IsNaN(fk.v) || math.IsInf(fk.v, 0) {
+			return fmt.Errorf("config: %s must be finite, got %v", fk.name, fk.v)
+		}
+	}
 	if c.ClockGHz <= 0 {
 		return fmt.Errorf("config: clock_ghz must be positive, got %v", c.ClockGHz)
 	}
@@ -672,6 +696,9 @@ func (c Config) Validate() error {
 	}
 	if c.WarmupCycles < 0 || c.MeasureCycles <= 0 || c.DrainCycles < 0 {
 		return fmt.Errorf("config: run windows must be non-negative with measure_cycles > 0")
+	}
+	if c.EngineShards < 0 || c.EngineShards > 64 {
+		return fmt.Errorf("config: engine_shards must be in [0,64], got %d", c.EngineShards)
 	}
 	if c.CoresPerChip()%max(1, c.CoresPerWI) != 0 && (c.Arch == ArchWireless || c.Arch == ArchHybrid) {
 		return fmt.Errorf("config: cores_per_wi (%d) must divide cores per chip (%d)", c.CoresPerWI, c.CoresPerChip())

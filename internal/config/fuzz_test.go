@@ -1,0 +1,95 @@
+package config
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// knobCursor consumes fuzz bytes as a knob vector: each knob reads one
+// byte (zero once the input runs out, so every prefix is a valid vector).
+type knobCursor struct {
+	data []byte
+	pos  int
+}
+
+func (k *knobCursor) next() int {
+	if k.pos >= len(k.data) {
+		return 0
+	}
+	b := k.data[k.pos]
+	k.pos++
+	return int(b)
+}
+
+// pick selects from options (the last entries being invalid values keeps
+// the rejection paths under fuzz too).
+func pick[T any](k *knobCursor, options []T) T {
+	return options[k.next()%len(options)]
+}
+
+// FuzzValidate drives Validate across the knob-interaction space —
+// architecture × channel model × MAC × arbitration policy × route
+// selection × channel assignment × shard count × fault schedule — with
+// out-of-range numerics and unknown enum values mixed in. The contract:
+// every combination either validates or returns a reason; Validate never
+// panics, is deterministic, and a config it accepts survives a JSON
+// round-trip through Parse (which re-validates).
+func FuzzValidate(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{2, 1, 0, 0, 0, 0, 1, 4, 2, 4, 1, 0, 0, 0})                 // wireless crossbar
+	f.Add([]byte{3, 1, 1, 0, 1, 1, 2, 2, 2, 4, 1, 0, 0, 0, 1, 1, 0, 2, 50}) // hybrid exclusive + outage
+	f.Add([]byte{3, 1, 1, 1, 3, 1, 8, 3, 2, 4, 1, 16, 8, 5, 1, 0, 3, 0, 0}) // token weighted + wi-fail + PER
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 255, 255, 9, 0, 0, 0, 0, 0})             // wired with wireless knobs
+	f.Fuzz(func(t *testing.T, data []byte) {
+		k := &knobCursor{data: data}
+		c := Default()
+		c.Arch = pick(k, []Architecture{ArchSubstrate, ArchInterposer, ArchWireless, ArchHybrid, "warp"})
+		c.Routing = pick(k, []RoutingMode{RouteShortest, RouteTree, "scenic"})
+		c.Channel = pick(k, []ChannelMode{ChannelCrossbar, ChannelExclusive, "party-line"})
+		c.MAC = pick(k, []MACMode{MACControlPacket, MACToken, "aloha"})
+		c.MACPolicyMode = pick(k, []MACPolicy{PolicyRotate, PolicySkipEmpty, PolicyDrainAware, PolicyWeighted, "coin-flip"})
+		c.RouteSelectMode = pick(k, []RouteSelect{"", SelectStatic, SelectAdaptive, "ouija"})
+		c.ChannelAssign = pick(k, []ChannelAssignment{AssignSingle, AssignStaticPartition, AssignSpatialReuse, "seance"})
+		c.EngineShards = k.next() - 64 // [-64, 191]: both range violations
+		c.WirelessChannels = k.next() - 8
+		c.MemStacks = k.next() % 12
+		c.CoresPerWI = k.next()%6 - 1
+		c.VCs = k.next()%80 - 2
+		c.PostWirelessVCs = k.next() % 8
+		c.TXBufferFlits = k.next() % 40
+		c.PacketFlits = k.next()%20 - 1
+		c.WirelessPER = float64(k.next())/100 - 0.5 // [-0.5, 2.05]
+		c.WirelessRetryLimit = k.next()%8 - 2
+		nEv := k.next() % 4
+		for i := 0; i < nEv; i++ {
+			c.FaultSchedule = append(c.FaultSchedule, FaultEvent{
+				Kind:       pick(k, []FaultKind{FaultWIFail, FaultOutage, "meteor"}),
+				Cycle:      int64(k.next()%400 - 50),
+				WI:         k.next()%40 - 4,
+				SubChannel: k.next()%6 - 1,
+				Duration:   int64(k.next()%300 - 20),
+			})
+		}
+
+		err1 := c.Validate()
+		err2 := c.Validate()
+		if (err1 == nil) != (err2 == nil) || (err1 != nil && err1.Error() != err2.Error()) {
+			t.Fatalf("Validate is nondeterministic: %v vs %v", err1, err2)
+		}
+		if err1 != nil {
+			if err1.Error() == "" {
+				t.Fatal("Validate rejected the config without a reason")
+			}
+			return
+		}
+		// Accepted configs must survive the JSON round-trip every CLI and
+		// experiment file takes.
+		b, err := json.Marshal(c)
+		if err != nil {
+			t.Fatalf("valid config does not marshal: %v", err)
+		}
+		if _, err := Parse(b); err != nil {
+			t.Fatalf("valid config rejected after round-trip: %v\n%s", err, b)
+		}
+	})
+}

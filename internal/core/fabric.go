@@ -76,6 +76,14 @@ type Fabric struct {
 	// zero cost and zero rng draws — unless config.FaultModelActive.
 	faults *faultState
 
+	// deferring marks the sharded engine's parallel pipeline phase: while
+	// set, the fabric-global halves of WI.Accept and of fault drops are
+	// appended to the accepting WI's shard log (WI.shardOps) instead of
+	// applied, and the engine replays them in serial switch order at the
+	// cycle's synchronization point (ReplayShardOps). Toggled only from the
+	// engine's serial phases, so every shard observes the same value.
+	deferring bool
+
 	// Statistics.
 	ControlPackets int64
 	TokenPasses    int64

@@ -102,11 +102,6 @@ type faultState struct {
 	consecFails   []int       // per WI: consecutive corrupted transmissions
 	degradedUntil []sim.Cycle // per WI: failover-avoidance window end
 
-	// droppedPkts registers abandoned packets whose remaining flits are
-	// still streaming from the host switch; Accept consumes them. Entries
-	// clear when the tail arrives.
-	droppedPkts map[uint64]bool
-
 	onFault func(now sim.Cycle, n FaultNotice)
 }
 
@@ -127,10 +122,15 @@ func (fb *Fabric) InitFaults() {
 		consecFails:   make([]int, n),
 		degradedUntil: make([]sim.Cycle, n),
 		outUntil:      make([]sim.Cycle, len(fb.subs)),
-		droppedPkts:   make(map[uint64]bool),
 	}
 	if fs.retryLimit <= 0 {
 		fs.retryLimit = defaultRetryLimit
+	}
+	for _, w := range fb.wis {
+		// Abandoned-packet registries are per transmit WI (a packet's flits
+		// all funnel through one WI), which keeps the sharded engine's
+		// concurrent Accept paths single-writer.
+		w.droppedPkts = make(map[uint64]bool)
 	}
 
 	// PER table: normalized quadratic path loss over grid distance.
@@ -323,14 +323,20 @@ func (fb *Fabric) dropUncommitted(now sim.Cycle, w *WI, q int) {
 }
 
 // registerDrop counts one abandoned packet and registers it for straggler
-// consumption unless its tail was already among the removed flits.
+// consumption unless its tail was already among the removed flits. The
+// registry write is per-WI (single-writer under sharding); the global drop
+// counter and the engine notice defer to serial replay while the fabric is
+// in deferred mode.
 func (fb *Fabric) registerDrop(now sim.Cycle, p *noc.Packet, w *WI, reason string, sawTail bool) {
-	fs := fb.faults
-	fb.Drops++
 	if !sawTail {
-		fs.droppedPkts[p.ID] = true
+		w.droppedPkts[p.ID] = true
 	}
-	if fs.onFault != nil {
+	if fb.deferring {
+		*w.shardOps = append(*w.shardOps, ShardOp{W: w, Kind: OpDrop, Pkt: p, Reason: reason})
+		return
+	}
+	fb.Drops++
+	if fs := fb.faults; fs.onFault != nil {
 		fs.onFault(now, FaultNotice{Kind: "drop", WI: w.Index, Pkt: p, Reason: reason})
 	}
 }
@@ -432,7 +438,7 @@ func (fb *Fabric) dropRetryExhausted(now sim.Cycle, w *WI, q int) {
 // in-flight transfer can finish.
 func (fb *Fabric) acceptFaulted(now sim.Cycle, w *WI, f noc.Flit) bool {
 	fs := fb.faults
-	if fs.droppedPkts[f.Pkt.ID] {
+	if w.droppedPkts[f.Pkt.ID] {
 		fb.consumeDroppedFlit(w, f)
 		return true
 	}
@@ -444,11 +450,17 @@ func (fb *Fabric) acceptFaulted(now sim.Cycle, w *WI, f noc.Flit) bool {
 	return false
 }
 
-// consumeDroppedFlit blackholes one flit of an abandoned packet.
+// consumeDroppedFlit blackholes one flit of an abandoned packet. The
+// credit return and registry delete are per-WI; the global flit counter
+// defers to serial replay while the fabric is in deferred mode.
 func (fb *Fabric) consumeDroppedFlit(w *WI, f noc.Flit) {
-	fb.DroppedFlits++
+	if fb.deferring {
+		*w.shardOps = append(*w.shardOps, ShardOp{W: w, Kind: OpConsume})
+	} else {
+		fb.DroppedFlits++
+	}
 	w.sw.ReturnCredit(w.outPort, int(f.VC))
 	if f.IsTail() {
-		delete(fb.faults.droppedPkts, f.Pkt.ID)
+		delete(w.droppedPkts, f.Pkt.ID)
 	}
 }

@@ -337,61 +337,75 @@ func (fb *Fabric) CheckMACInvariants() error {
 		}
 		return nil
 	}
-	for ci, sub := range fb.subs {
-		if sub.phase == phaseIdle && sub.announceLeft != 0 {
-			return fmt.Errorf("core: sub-channel %d idle with announceLeft %d", ci, sub.announceLeft)
+	for ci := range fb.subs {
+		if err := fb.CheckSubChannel(ci); err != nil {
+			return err
 		}
-		if fb.cfg.MAC == config.MACControlPacket && sub.phase != phaseIdle {
-			if sum := sumAnnounced(sub.members[sub.turn]); sum != sub.announceLeft {
-				return fmt.Errorf("core: sub-channel %d announceLeft %d, holder WI %d announces %d",
-					ci, sub.announceLeft, sub.members[sub.turn].Index, sum)
-			}
+	}
+	return nil
+}
+
+// CheckSubChannel checks the per-sub-channel share of the MAC invariants
+// for sub-channel ci alone: turn-phase/announce lockstep, the backlogged
+// counter, and (under the queue policies) turn-queue consistency. Every
+// piece of state it reads is owned by the sub-channel or its member WIs,
+// so the sharded engine calls it concurrently from the shard that owns
+// the sub-channel.
+func (fb *Fabric) CheckSubChannel(ci int) error {
+	sub := fb.subs[ci]
+	if sub.phase == phaseIdle && sub.announceLeft != 0 {
+		return fmt.Errorf("core: sub-channel %d idle with announceLeft %d", ci, sub.announceLeft)
+	}
+	if fb.cfg.MAC == config.MACControlPacket && sub.phase != phaseIdle {
+		if sum := sumAnnounced(sub.members[sub.turn]); sum != sub.announceLeft {
+			return fmt.Errorf("core: sub-channel %d announceLeft %d, holder WI %d announces %d",
+				ci, sub.announceLeft, sub.members[sub.turn].Index, sum)
 		}
-		backlogged := 0
-		for _, w := range sub.members {
-			if w.txLen > 0 {
-				backlogged++
-			}
+	}
+	backlogged := 0
+	for _, w := range sub.members {
+		if w.txLen > 0 {
+			backlogged++
 		}
-		if sub.backlogged != backlogged {
-			return fmt.Errorf("core: sub-channel %d backlogged counter %d, %d members hold TX flits",
-				ci, sub.backlogged, backlogged)
+	}
+	if sub.backlogged != backlogged {
+		return fmt.Errorf("core: sub-channel %d backlogged counter %d, %d members hold TX flits",
+			ci, sub.backlogged, backlogged)
+	}
+	if !fb.turnQueue {
+		return nil
+	}
+	reach := 0
+	for slot := sub.qHead; slot >= 0; slot = sub.qNext[slot] {
+		if !sub.inQueue[slot] {
+			return fmt.Errorf("core: sub-channel %d queue reaches unlinked slot %d", ci, slot)
 		}
-		if !fb.turnQueue {
-			continue
+		if next := sub.qNext[slot]; next >= 0 && sub.qPrev[next] != slot {
+			return fmt.Errorf("core: sub-channel %d queue links broken at slot %d", ci, slot)
 		}
-		reach := 0
-		for slot := sub.qHead; slot >= 0; slot = sub.qNext[slot] {
-			if !sub.inQueue[slot] {
-				return fmt.Errorf("core: sub-channel %d queue reaches unlinked slot %d", ci, slot)
-			}
-			if next := sub.qNext[slot]; next >= 0 && sub.qPrev[next] != slot {
-				return fmt.Errorf("core: sub-channel %d queue links broken at slot %d", ci, slot)
-			}
-			if reach++; reach > len(sub.members) {
-				return fmt.Errorf("core: sub-channel %d queue cycles", ci)
-			}
+		if reach++; reach > len(sub.members) {
+			return fmt.Errorf("core: sub-channel %d queue cycles", ci)
 		}
-		holder := -1
-		if sub.phase != phaseIdle {
-			holder = sub.turn
+	}
+	holder := -1
+	if sub.phase != phaseIdle {
+		holder = sub.turn
+	}
+	for slot, w := range sub.members {
+		// A mid-turn drain-aware holder may have drained its TX buffer
+		// while announced flits are still in flight from its switch; it
+		// stays queued until its turn closes. Every other member is
+		// queued exactly while it holds TX flits.
+		if sub.inQueue[slot] != (w.txLen > 0) && !(slot == holder && sub.inQueue[slot]) {
+			return fmt.Errorf("core: sub-channel %d slot %d (WI %d) queued=%v with %d TX flits",
+				ci, slot, w.Index, sub.inQueue[slot], w.txLen)
 		}
-		for slot, w := range sub.members {
-			// A mid-turn drain-aware holder may have drained its TX buffer
-			// while announced flits are still in flight from its switch; it
-			// stays queued until its turn closes. Every other member is
-			// queued exactly while it holds TX flits.
-			if sub.inQueue[slot] != (w.txLen > 0) && !(slot == holder && sub.inQueue[slot]) {
-				return fmt.Errorf("core: sub-channel %d slot %d (WI %d) queued=%v with %d TX flits",
-					ci, slot, w.Index, sub.inQueue[slot], w.txLen)
-			}
-			if sub.inQueue[slot] {
-				reach--
-			}
+		if sub.inQueue[slot] {
+			reach--
 		}
-		if reach != 0 {
-			return fmt.Errorf("core: sub-channel %d queue membership flags drifted from links", ci)
-		}
+	}
+	if reach != 0 {
+		return fmt.Errorf("core: sub-channel %d queue membership flags drifted from links", ci)
 	}
 	return nil
 }

@@ -57,6 +57,21 @@ type WI struct {
 	drainWinCount int
 	drainRatePrev int // flits drained in the previous completed window
 
+	// droppedPkts registers abandoned packets whose remaining flits are
+	// still streaming from the host switch; Accept consumes them. Entries
+	// clear when the tail arrives. Per-WI (not fabric-global) because a
+	// packet's flits always funnel through one transmit WI — its route is
+	// fixed at injection — and per-WI state keeps the sharded engine's
+	// concurrent Accept paths single-writer.
+	droppedPkts map[uint64]bool
+
+	// shardOps, when the engine runs sharded, points at the owning shard's
+	// deferred-operation log: while the fabric is in deferred mode, the
+	// fabric-global halves of Accept and of fault drops are appended here
+	// instead of applied, and the engine replays every shard's log in
+	// serial order at the cycle's synchronization point.
+	shardOps *[]ShardOp
+
 	// Statistics.
 	TxFlits     int64
 	RxFlits     int64
@@ -110,11 +125,18 @@ func (w *WI) Accept(now sim.Cycle, f noc.Flit, next sim.SwitchID) {
 		panic(fmt.Sprintf("core: WI %d TX queue %d overflow: output credits violated", w.Index, q))
 	}
 	w.txVC[q] = append(w.txVC[q], txEntry{f: f, dest: dest})
-	w.fb.txTotal++
 	w.txLen++
 	if w.txLen > w.MaxTxDepth {
 		w.MaxTxDepth = w.txLen
 	}
+	if w.fb.deferring {
+		// Sharded parallel phase: the per-WI state above is single-writer
+		// (one switch, one shard), but txTotal and the sub-channel turn
+		// bookkeeping are fabric-global — log them for serial replay.
+		*w.shardOps = append(*w.shardOps, ShardOp{W: w, Kind: OpAccept, First: w.txLen == 1})
+		return
+	}
+	w.fb.txTotal++
 	if w.txLen == 1 && w.sub != nil {
 		// The WI turned backlogged: feed the sub-channel contention
 		// counter the adaptive route selector reads, and — under the
@@ -125,6 +147,10 @@ func (w *WI) Accept(now sim.Cycle, f noc.Flit, next sim.SwitchID) {
 		}
 	}
 }
+
+// SetShardLog points the WI at its owning shard's deferred-operation log
+// (sharded engine wiring).
+func (w *WI) SetShardLog(log *[]ShardOp) { w.shardOps = log }
 
 // popTx removes the head of TX queue q and returns one credit to the host
 // switch's wireless output port.

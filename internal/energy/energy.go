@@ -5,7 +5,11 @@
 // simulated time. All values are tracked in picojoules.
 package energy
 
-import "fmt"
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
 
 // Class identifies an energy-consuming component class.
 type Class int
@@ -52,13 +56,29 @@ func Classes() []Class {
 	return out
 }
 
+// FPScale is the fixed-point denominator of dynamic-energy accumulation:
+// charges are quantized to 1/2^30 pJ and summed as integers. Integer sums
+// are associative, so per-class totals are independent of the order —
+// and, under sharded execution, of the interleaving — in which flit events
+// charge the meter; that is what keeps energy byte-identical at every
+// shard count. The quantization error per charge is below 1e-9 pJ.
+const FPScale = 1 << 30
+
+// QuantizePJ converts a picojoule amount to the fixed-point representation
+// shared by the Meter and per-packet energy attribution.
+func QuantizePJ(pj float64) int64 { return int64(math.Round(pj * FPScale)) }
+
 // Meter accumulates dynamic and static energy for one simulation.
 // The zero value is not ready for use; construct with NewMeter.
+//
+// Dynamic accumulation (AddDynamic) is atomic and may be called from
+// concurrent engine shards; static integration (AddStaticMWCycles) and the
+// getters are serial-phase operations.
 type Meter struct {
 	clockGHz  float64
-	dynamicPJ [numClasses]float64
+	dynamicFP [numClasses]int64 // fixed-point pJ (FPScale), atomic
 	staticPJ  float64
-	bits      [numClasses]int64
+	bits      [numClasses]int64 // atomic
 }
 
 // NewMeter returns a Meter for a simulation clocked at clockGHz.
@@ -79,8 +99,8 @@ func (m *Meter) AddDynamic(c Class, bits int, pj float64) float64 {
 	if c <= 0 || c >= numClasses {
 		return 0
 	}
-	m.dynamicPJ[c] += pj
-	m.bits[c] += int64(bits)
+	atomic.AddInt64(&m.dynamicFP[c], QuantizePJ(pj))
+	atomic.AddInt64(&m.bits[c], int64(bits))
 	return pj
 }
 
@@ -95,7 +115,7 @@ func (m *Meter) DynamicPJ(c Class) float64 {
 	if c <= 0 || c >= numClasses {
 		return 0
 	}
-	return m.dynamicPJ[c]
+	return float64(atomic.LoadInt64(&m.dynamicFP[c])) / FPScale
 }
 
 // Bits returns the payload bits transferred by class c.
@@ -103,16 +123,16 @@ func (m *Meter) Bits(c Class) int64 {
 	if c <= 0 || c >= numClasses {
 		return 0
 	}
-	return m.bits[c]
+	return atomic.LoadInt64(&m.bits[c])
 }
 
 // TotalDynamicPJ returns dynamic energy summed over all classes.
 func (m *Meter) TotalDynamicPJ() float64 {
-	var t float64
+	var t int64
 	for c := ClassSwitch; c < numClasses; c++ {
-		t += m.dynamicPJ[c]
+		t += atomic.LoadInt64(&m.dynamicFP[c])
 	}
-	return t
+	return float64(t) / FPScale
 }
 
 // StaticPJ returns the integrated static energy.
@@ -126,8 +146,8 @@ func (m *Meter) TotalPJ() float64 { return m.TotalDynamicPJ() + m.staticPJ }
 func (m *Meter) Breakdown() map[string]float64 {
 	out := make(map[string]float64, numClasses)
 	for c := ClassSwitch; c < numClasses; c++ {
-		if m.dynamicPJ[c] != 0 {
-			out[c.String()] = m.dynamicPJ[c]
+		if fp := atomic.LoadInt64(&m.dynamicFP[c]); fp != 0 {
+			out[c.String()] = float64(fp) / FPScale
 		}
 	}
 	if m.staticPJ != 0 {

@@ -31,14 +31,39 @@ func TestDynamicAccounting(t *testing.T) {
 	}
 	m.AddDynamic(ClassSwitch, 32, 70.4)
 	m.AddDynamic(ClassWireless, 32, 73.6)
-	if got := m.DynamicPJ(ClassSwitch); math.Abs(got-140.8) > 1e-9 {
+	// Accumulation is fixed-point (quantized to 1/FPScale pJ per charge),
+	// so totals carry up to a few quantization steps of error.
+	if got := m.DynamicPJ(ClassSwitch); math.Abs(got-140.8) > 1e-6 {
 		t.Fatalf("switch dynamic = %v, want 140.8", got)
 	}
 	if got := m.Bits(ClassSwitch); got != 64 {
 		t.Fatalf("switch bits = %v, want 64", got)
 	}
-	if got := m.TotalDynamicPJ(); math.Abs(got-214.4) > 1e-9 {
+	if got := m.TotalDynamicPJ(); math.Abs(got-214.4) > 1e-6 {
 		t.Fatalf("total dynamic = %v, want 214.4", got)
+	}
+}
+
+// TestDynamicOrderIndependent is the property the sharded engine leans on:
+// charging the same multiset of amounts in any order (or from any
+// interleaving of goroutines) yields bit-identical totals, because the
+// accumulator is an integer.
+func TestDynamicOrderIndependent(t *testing.T) {
+	amounts := []float64{70.4, 2.3, 0.375, 5.2, 73.6, 0.1, 2.2, 6.5}
+	a, _ := NewMeter(2.5)
+	for _, pj := range amounts {
+		a.AddDynamic(ClassWireless, 32, pj)
+	}
+	b, _ := NewMeter(2.5)
+	for i := len(amounts) - 1; i >= 0; i-- {
+		b.AddDynamic(ClassWireless, 32, amounts[i])
+	}
+	if a.DynamicPJ(ClassWireless) != b.DynamicPJ(ClassWireless) {
+		t.Fatalf("order-dependent accumulation: %v vs %v",
+			a.DynamicPJ(ClassWireless), b.DynamicPJ(ClassWireless))
+	}
+	if a.TotalDynamicPJ() != b.TotalDynamicPJ() {
+		t.Fatalf("order-dependent totals: %v vs %v", a.TotalDynamicPJ(), b.TotalDynamicPJ())
 	}
 }
 

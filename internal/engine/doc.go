@@ -1,0 +1,50 @@
+// Package engine assembles a complete multichip system — topology, routing
+// tables, switches, links, endpoints, the wireless fabric and a traffic
+// source — and drives the cycle-accurate simulation loop.
+//
+// # Sharded execution
+//
+// Config.EngineShards > 1 splits every tick across worker goroutines while
+// keeping the output byte-identical to the serial engine — the same Result
+// JSON and the same packet trace at every shard count, pinned by the
+// determinism matrix in determinism_test.go. The grid is partitioned into
+// horizontal row bands; each shard owns the switches, links, NIs, and WIs
+// whose switches fall in its band, plus the wireless sub-channels hosted by
+// its switches.
+//
+// Ownership is single-writer: a component's pipeline state is only mutated
+// by its owning shard's goroutine. The three cross-shard interactions are
+// handled as follows:
+//
+//   - Boundary wired links (endpoints in different shards) run in mailbox
+//     mode: the source shard retires flits into a parity ping-pong buffer
+//     (written at cycle t, drained by the destination shard at t+1 — the
+//     same cycle the serial Deliver would land them), and credits flow the
+//     opposite way through a mirrored buffer. See noc.Link.SetMailbox.
+//   - Wireless fabric side effects (transmit accounting, fault drops,
+//     backlog bookkeeping) are deferred into per-shard operation logs
+//     during the parallel sweep and replayed serially between phases,
+//     stable-sorted by WI switch ID so the merge reproduces the serial
+//     sweep order exactly. See core.ReplayShardOps.
+//   - Endpoint-side events (delivery, route classification, watchdog
+//     injection tracking) are logged per shard during the endpoint phase
+//     and replayed stable-sorted by endpoint index — again the serial
+//     sweep order.
+//
+// A cycle therefore runs serial–parallel–serial: faults, watchdog, and
+// wireless launch first (serial); pipeline sweeps and link delivery per
+// shard (parallel, barrier); fabric-op replay and wireless delivery
+// (serial); endpoint ticks per shard (parallel, barrier); event replay,
+// memory replies, and traffic generation (serial). The one-cycle mailbox
+// deferral is invisible because it matches the serial engine's own
+// link-latency timing, and the replay merges are invisible because each
+// log preserves per-component order and the sorts restore the global
+// sweep order.
+//
+// Picking a shard count: shards split rows, so they only help when the
+// per-cycle pipeline work dominates the serial phases — large grids
+// (16+ chips) at moderate-to-high load. Small or idle systems are faster
+// serial, and EngineShards is clamped to the row count. Shards compose
+// with run-level parallelism (internal/exp's worker pool): shard a single
+// big run, pool many small ones.
+package engine

@@ -1,6 +1,3 @@
-// Package engine assembles a complete multichip system — topology, routing
-// tables, switches, links, endpoints, the wireless fabric and a traffic
-// source — and drives the cycle-accurate simulation loop.
 package engine
 
 import (
@@ -145,6 +142,18 @@ type Engine struct {
 	// pool recycles delivered packets back into traffic generation.
 	pool noc.PacketPool
 
+	// Sharded execution (see shard.go; all nil/empty when serial): the
+	// row-band shards, per-component shard assignment, the recorded link
+	// endpoints (for boundary classification), the persistent worker
+	// barrier, and reusable merge scratch for the serial replay phases.
+	shards       []*shard
+	swShard      []int
+	epShard      []int
+	linkEnds     [][2]sim.SwitchID
+	barrier      *shardBarrier
+	opScratch    []core.ShardOp
+	eventScratch []epEvent
+
 	trace    io.Writer
 	traceErr error
 }
@@ -278,7 +287,38 @@ func New(p Params) (*Engine, error) {
 	if err := e.buildTraffic(p.Traffic); err != nil {
 		return nil, err
 	}
+	e.buildShards(p)
 	return e, nil
+}
+
+// deliverPacket finalizes one delivered packet: statistics and watchdog
+// release, DRAM read-reply scheduling, trace emission, pool recycling. A
+// delivered read request is kept until its data reply is issued; a Faulted
+// read request lost its payload crossing a failed transceiver, so the DRAM
+// channel never sees it and no reply is scheduled. Serial-phase only: the
+// sharded engine's endpoints defer their delivered hooks into per-shard
+// event logs that replay through here at the cycle's synchronization
+// point.
+func (e *Engine) deliverPacket(now sim.Cycle, p *noc.Packet) {
+	e.coll.OnDelivered(now, p)
+	if e.wd != nil {
+		e.wd.remove(p.ID)
+	}
+	keep := p.Read && p.Class == noc.ClassCoreToMem && !p.Faulted
+	if keep {
+		e.replies.push(pendingReply{
+			readyAt: now + sim.Cycle(e.cfg.MemServiceCycles),
+			seq:     e.replySeq,
+			request: p,
+		})
+		e.replySeq++
+	}
+	if e.trace != nil {
+		e.tracePacket(p)
+	}
+	if !keep {
+		e.pool.Put(p)
+	}
 }
 
 // build instantiates switches, links, endpoints, the wireless fabric and
@@ -311,6 +351,7 @@ func (e *Engine) build() error {
 		l.Connect(src, outP, dst, inP)
 		outToward[a][b] = outP
 		e.links = append(e.links, l)
+		e.linkEnds = append(e.linkEnds, [2]sim.SwitchID{a, b})
 	}
 	for _, ed := range g.Edges {
 		addDirected(ed.A, ed.B, ed)
@@ -331,34 +372,9 @@ func (e *Engine) build() error {
 		}
 	}
 
-	// Endpoints. Read requests reaching a DRAM channel schedule a data
-	// reply after the service latency. A delivered packet is fully
-	// consumed (tail flit ejected, statistics sampled), so it recycles
-	// into the pool — unless it is a read request, which the reply path
-	// still needs until the data reply is issued.
-	delivered := func(now sim.Cycle, p *noc.Packet) {
-		e.coll.OnDelivered(now, p)
-		if e.wd != nil {
-			e.wd.remove(p.ID)
-		}
-		// A Faulted read request lost its payload crossing a failed
-		// transceiver; the DRAM channel never sees it, so no reply.
-		keep := p.Read && p.Class == noc.ClassCoreToMem && !p.Faulted
-		if keep {
-			e.replies.push(pendingReply{
-				readyAt: now + sim.Cycle(e.cfg.MemServiceCycles),
-				seq:     e.replySeq,
-				request: p,
-			})
-			e.replySeq++
-		}
-		if e.trace != nil {
-			e.tracePacket(p)
-		}
-		if !keep {
-			e.pool.Put(p)
-		}
-	}
+	// Endpoints. Each NI reports deliveries through e.deliverPacket
+	// (directly when serial; through the per-shard event logs when
+	// sharded — see shard.go).
 	e.endpoints = make([]*noc.Endpoint, g.EndpointCount())
 	localOut := make([]int, g.EndpointCount())
 	for i, ep := range g.Endpoints {
@@ -370,7 +386,7 @@ func (e *Engine) build() error {
 			cl = energy.ClassLinkTSV
 		}
 		ne := noc.NewEndpoint(ep.ID, sw, inP, outP, ep.LocalLatency, ep.LocalPJPerBit,
-			cl, cfg.FlitBits, cfg.InjectionQueue, delivered, e.meter)
+			cl, cfg.FlitBits, cfg.InjectionQueue, e.deliverPacket, e.meter)
 		sw.SetInputCredit(inP, ne)
 		sw.SetOutputConduit(outP, ne)
 		e.endpoints[i] = ne

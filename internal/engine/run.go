@@ -98,6 +98,7 @@ type Result struct {
 // Run executes the configured warmup + measurement (+ drain) windows and
 // returns the results.
 func (e *Engine) Run() (*Result, error) {
+	defer e.stopShards()
 	total := e.cfg.WarmupCycles + e.cfg.MeasureCycles + e.cfg.DrainCycles
 	for ; e.now < total; e.now++ {
 		e.step()
@@ -127,6 +128,10 @@ func (e *Engine) Run() (*Result, error) {
 // ascending index order, so the schedule is cycle-identical to the
 // FullTick reference path — same seed, byte-identical Result.
 func (e *Engine) step() {
+	if len(e.shards) > 0 {
+		e.stepSharded()
+		return
+	}
 	now := e.now
 	if e.wd != nil {
 		// Fault model active: fire scheduled fault events before the MAC
@@ -490,7 +495,9 @@ func (e *Engine) CheckFlitConservation() error {
 		inNet += int64(s.BufferedFlits())
 	}
 	for _, l := range e.links {
-		inNet += int64(l.InFlight())
+		// A boundary-mailbox flit is neither on the wire nor in a switch
+		// buffer (sharded execution; MailboxFlits is 0 otherwise).
+		inNet += int64(l.InFlight() + l.MailboxFlits())
 	}
 	var dropped int64
 	if e.fabric != nil {

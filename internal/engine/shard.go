@@ -1,0 +1,465 @@
+package engine
+
+import (
+	"sort"
+
+	"wimc/internal/core"
+	"wimc/internal/noc"
+	"wimc/internal/sim"
+)
+
+// Sharded intra-run execution
+//
+// One simulation ticks across worker goroutines: the global mesh grid is
+// partitioned into contiguous row bands, and each band's switches, NIs and
+// wireless interfaces form a shard that runs the pipeline sweeps and NI
+// ticks of its own components concurrently with its peers. Results are
+// byte-identical to the serial engine at every shard count — the FullTick
+// tradition: the parallel schedule is a reordering of provably independent
+// work, never a different simulation. See doc.go for the full ownership
+// and deferral rules; the short version of why this is safe:
+//
+//   - Pipeline sweeps only write the swept switch, its attached WI/NI, and
+//     the conduits of its output ports. Intra-shard components interact
+//     through the same per-component queues as the serial engine.
+//   - Every conduit crossing a shard boundary is a wired Link with latency
+//     >= 1, split into single-writer mailbox halves (noc.SetMailbox): due
+//     traffic parks in a parity buffer at cycle t and is drained by the
+//     peer shard at the start of t+1 — the same cycle the serial engine's
+//     destination pipeline would first see it.
+//   - Fabric-global mutations reachable from a sweep (launch predicate,
+//     sub-channel backlog/turn queues, fault drop accounting) are deferred
+//     as core.ShardOps and replayed serially in ascending host-switch
+//     order — the serial sweep order.
+//   - NI-side engine hooks (delivery bookkeeping, route classification,
+//     watchdog arming) are deferred as epEvents and replayed serially in
+//     ascending endpoint order — the serial NI sweep order.
+//   - Energy accumulation is atomic fixed-point (energy.FPScale), so
+//     concurrent metering sums to bit-identical totals in any order.
+//
+// The cycle structure is S0 (serial: faults, watchdog, MAC arbitration) →
+// P1 (parallel: mailbox drains, pipeline sweeps, link delivery) → S1
+// (serial: ShardOp replay, wireless delivery) → P2 (parallel: NI ticks) →
+// S2 (serial: epEvent replay, read replies, traffic generation), with a
+// barrier after each parallel phase.
+
+// epEvent defers one NI-side engine hook invocation for serial replay.
+// ep is the global endpoint index — the stable merge key that recovers
+// the serial NI sweep order (an endpoint's events all land in one shard's
+// log in occurrence order, so a stable sort by ep reproduces the serial
+// interleaving exactly).
+type epEvent struct {
+	ep   int
+	kind uint8
+	pkt  *noc.Packet
+}
+
+// Deferred NI hook kinds.
+const (
+	evDelivered uint8 = iota // deliverPacket (stats, replies, trace, pool)
+	evClassify               // classifyPacket (route selector state)
+	evInjected               // watchdog onInjected (liveness clock)
+)
+
+// shard is one row band of the system: the components it owns, their
+// activity sets, its boundary-link halves and its deferred-work logs.
+type shard struct {
+	idx int
+
+	// Per-shard activity sets, indexed by GLOBAL component index (each set
+	// is sized for the whole system; members are this shard's only).
+	swActive   *sim.ActiveSet
+	linkActive *sim.ActiveSet
+	epActive   *sim.ActiveSet
+
+	switchIdx []int // owned switches (ascending global index)
+
+	// Boundary links, by which half this shard owns: outBound links
+	// originate here (this shard runs Accept/DeliverFlitHalf and drains
+	// the credit inbox), inBound links terminate here (this shard runs
+	// ReturnCredit/DeliverCreditHalf and drains the flit inbox).
+	outBound []*noc.Link
+	inBound  []*noc.Link
+
+	subs []int // owned wireless sub-channels (invariant checking)
+
+	ops    []core.ShardOp // deferred fabric-global ops (P1 → S1)
+	events []epEvent      // deferred NI hooks (P2 → S2)
+}
+
+// shardBarrier runs one function across persistent worker goroutines, one
+// per shard beyond the first (shard 0 runs on the engine's goroutine), and
+// waits for all of them — the per-cycle barrier. Workers live across
+// cycles so the steady-state cost is two channel hops per worker per
+// phase, not goroutine spawns.
+type shardBarrier struct {
+	jobs []chan func(int)
+	done chan struct{}
+}
+
+func newShardBarrier(n int) *shardBarrier {
+	b := &shardBarrier{done: make(chan struct{}, n-1)}
+	for i := 1; i < n; i++ {
+		ch := make(chan func(int))
+		b.jobs = append(b.jobs, ch)
+		go func(si int, ch chan func(int)) {
+			for fn := range ch {
+				fn(si)
+				b.done <- struct{}{}
+			}
+		}(i, ch)
+	}
+	return b
+}
+
+// run executes fn(shardIndex) on every shard and returns after all
+// complete.
+func (b *shardBarrier) run(fn func(int)) {
+	for _, ch := range b.jobs {
+		ch <- fn
+	}
+	fn(0)
+	for range b.jobs {
+		<-b.done
+	}
+}
+
+// stop terminates the worker goroutines.
+func (b *shardBarrier) stop() {
+	for _, ch := range b.jobs {
+		close(ch)
+	}
+}
+
+// shardBands splits rows [0, n) into k contiguous half-open bands covering
+// every row exactly once, earlier bands taking the remainder (the same
+// split rule as topology construction).
+func shardBands(n, k int) [][2]int {
+	if k > n {
+		k = n
+	}
+	if k < 1 {
+		k = 1
+	}
+	out := make([][2]int, 0, k)
+	start := 0
+	for i := 0; i < k; i++ {
+		size := n / k
+		if i < n%k {
+			size++
+		}
+		out = append(out, [2]int{start, start + size})
+		start += size
+	}
+	return out
+}
+
+// buildShards partitions the built system into cfg.EngineShards row bands
+// and rewires component activity registration, boundary links and engine
+// hooks for sharded stepping. A no-op (the engine stays serial) when fewer
+// than two effective shards result or the FullTick reference path is
+// requested — FullTick exists to pin the serial schedule, so it always
+// runs serially.
+func (e *Engine) buildShards(p Params) {
+	rows := e.cfg.ChipsY * e.cfg.CoresY
+	nsh := e.cfg.EngineShards
+	if nsh > rows {
+		nsh = rows
+	}
+	if nsh < 2 || p.FullTick {
+		return
+	}
+	g := e.graph
+
+	// Row → shard map. Every node (core and mem-logic alike) carries a
+	// global row GY in [0, rows).
+	rowShard := make([]int, rows)
+	for si, band := range shardBands(rows, nsh) {
+		for r := band[0]; r < band[1]; r++ {
+			rowShard[r] = si
+		}
+	}
+
+	e.shards = make([]*shard, nsh)
+	for i := range e.shards {
+		e.shards[i] = &shard{
+			idx:        i,
+			swActive:   sim.NewActiveSet(len(e.switches)),
+			linkActive: sim.NewActiveSet(len(e.links)),
+			epActive:   sim.NewActiveSet(len(e.endpoints)),
+		}
+	}
+
+	// Switches by row band.
+	e.swShard = make([]int, len(e.switches))
+	for i, n := range g.Nodes {
+		si := rowShard[n.GY]
+		e.swShard[i] = si
+		e.shards[si].switchIdx = append(e.shards[si].switchIdx, i)
+		e.switches[i].SetActivity(e.shards[si].swActive, i)
+	}
+
+	// Links: intra-shard links keep normal delivery under the owning
+	// shard's activity set; boundary links switch to mailbox halves and
+	// leave activity scheduling entirely (their halves run unconditionally
+	// each cycle — a nil ActiveSet no-ops the link's Add calls).
+	for i, l := range e.links {
+		a, b := e.linkEnds[i][0], e.linkEnds[i][1]
+		sa, sb := e.swShard[a], e.swShard[b]
+		if sa == sb {
+			l.SetActivity(e.shards[sa].linkActive, i)
+			continue
+		}
+		l.SetMailbox()
+		l.SetActivity(nil, i)
+		e.shards[sa].outBound = append(e.shards[sa].outBound, l)
+		e.shards[sb].inBound = append(e.shards[sb].inBound, l)
+	}
+
+	// Endpoints co-locate with their host switch; their engine hooks
+	// defer into the owning shard's event log (replayed in S2).
+	e.epShard = make([]int, len(e.endpoints))
+	for i, ep := range e.endpoints {
+		si := e.swShard[g.Endpoints[i].Switch]
+		e.epShard[i] = si
+		s := e.shards[si]
+		ep.SetActivity(s.epActive, i)
+		idx := i
+		ep.SetDeliveredHook(func(_ sim.Cycle, p *noc.Packet) {
+			s.events = append(s.events, epEvent{ep: idx, kind: evDelivered, pkt: p})
+		})
+		if e.selector != nil {
+			ep.SetClassifier(func(_ sim.Cycle, p *noc.Packet) {
+				s.events = append(s.events, epEvent{ep: idx, kind: evClassify, pkt: p})
+			})
+		}
+		if e.wd != nil {
+			ep.SetInjectionHook(func(_ sim.Cycle, p *noc.Packet) {
+				s.events = append(s.events, epEvent{ep: idx, kind: evInjected, pkt: p})
+			})
+		}
+	}
+
+	// Wireless interfaces log their deferred fabric-global ops into the
+	// shard owning their host switch; sub-channels are owned (for
+	// invariant checking) by the shard of their first member's switch.
+	if e.fabric != nil {
+		for _, w := range e.fabric.WIs() {
+			s := e.shards[e.swShard[w.SwitchID]]
+			w.SetShardLog(&s.ops)
+		}
+		for ci := 0; ci < e.fabric.SubChannels(); ci++ {
+			if host, ok := e.fabric.SubChannelHostSwitch(ci); ok {
+				s := e.shards[e.swShard[host]]
+				s.subs = append(s.subs, ci)
+			}
+		}
+	}
+}
+
+// NumShards returns the number of execution shards (0 when serial).
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// stopShards terminates the barrier workers; stepping restarts them
+// lazily, so it is safe to call between runs or from tests.
+func (e *Engine) stopShards() {
+	if e.barrier != nil {
+		e.barrier.stop()
+		e.barrier = nil
+	}
+}
+
+// stepSharded advances the system by one cycle across the shards. Phase
+// structure and the byte-identity argument are documented at the top of
+// this file; each phase body below names its serial-engine counterpart.
+func (e *Engine) stepSharded() {
+	now := e.now
+	if e.barrier == nil {
+		e.barrier = newShardBarrier(len(e.shards))
+	}
+
+	// S0 — faults, watchdog, MAC arbitration and launch (serial: these
+	// read and write WIs across all shards).
+	if e.wd != nil {
+		e.fabric.ApplyFaults(now)
+		e.wd.check(now)
+	}
+	if e.fabric != nil {
+		if e.fabric.LaunchNeeded() {
+			e.fabric.Launch(now)
+		}
+		e.fabric.SetDeferred(true)
+	}
+
+	// P1 — pipeline sweeps and link delivery, one goroutine per shard.
+	e.barrier.run(func(si int) {
+		e.tickShardPipeline(e.shards[si], now)
+	})
+
+	// S1 — replay deferred fabric ops in serial sweep order, then deliver
+	// completed wireless transmissions (writes destination switches and
+	// WIs across shards).
+	if e.fabric != nil {
+		e.fabric.SetDeferred(false)
+		e.replayFabricOps(now)
+		if e.fabric.HasPending() {
+			e.fabric.Deliver(now)
+		}
+	}
+
+	// P2 — NI ticks, one goroutine per shard (engine hooks defer).
+	e.barrier.run(func(si int) {
+		e.tickShardEndpoints(e.shards[si], now)
+	})
+
+	// S2 — replay deferred NI events in serial sweep order, then the
+	// global injection machinery.
+	e.replayEndpointEvents(now)
+	e.issueReplies(now)
+	if now < e.genStop {
+		e.generate(now)
+	}
+}
+
+// tickShardPipeline is one shard's share of the serial engine's pipeline
+// phase: drain boundary mailboxes parked by peer shards at cycle now-1
+// (exactly when the serial destination pipeline would first see them),
+// run the three pipeline sweeps over owned switches, deliver intra-shard
+// links, and park this cycle's due boundary traffic for the peers.
+func (e *Engine) tickShardPipeline(s *shard, now sim.Cycle) {
+	for _, l := range s.inBound {
+		l.DrainFlitInbox(now)
+	}
+	for _, l := range s.outBound {
+		l.DrainCreditInbox(now)
+	}
+	// No switch joins or leaves the set during the three pipeline phases
+	// (traversed flits land in link/WI/endpoint queues, never directly in
+	// another switch), so the three sweeps see identical membership.
+	for it := s.swActive.Iter(); ; {
+		i, ok := it.Next()
+		if !ok {
+			break
+		}
+		e.switches[i].TickSAST(now)
+	}
+	for it := s.swActive.Iter(); ; {
+		i, ok := it.Next()
+		if !ok {
+			break
+		}
+		e.switches[i].TickVA(now)
+	}
+	for it := s.swActive.Iter(); ; {
+		i, ok := it.Next()
+		if !ok {
+			break
+		}
+		sw := e.switches[i]
+		sw.TickRC(now)
+		if sw.BufferedFlits() == 0 {
+			s.swActive.Remove(i)
+		}
+	}
+	for it := s.linkActive.Iter(); ; {
+		i, ok := it.Next()
+		if !ok {
+			break
+		}
+		l := e.links[i]
+		l.Deliver(now)
+		if !l.Busy() {
+			s.linkActive.Remove(i)
+		}
+	}
+	for _, l := range s.outBound {
+		l.DeliverFlitHalf(now)
+	}
+	for _, l := range s.inBound {
+		l.DeliverCreditHalf(now)
+	}
+}
+
+// tickShardEndpoints is one shard's share of the serial engine's NI
+// phase.
+func (e *Engine) tickShardEndpoints(s *shard, now sim.Cycle) {
+	for it := s.epActive.Iter(); ; {
+		i, ok := it.Next()
+		if !ok {
+			break
+		}
+		ep := e.endpoints[i]
+		ep.Tick(now)
+		if ep.Drained() {
+			s.epActive.Remove(i)
+		}
+	}
+}
+
+// replayFabricOps merges every shard's deferred fabric-global operations
+// by ascending host-switch index — the serial pipeline sweep order (at
+// most one wireless Accept reaches a WI per cycle, and per-WI op order is
+// preserved by the stable sort) — and applies them.
+func (e *Engine) replayFabricOps(now sim.Cycle) {
+	buf := e.opScratch[:0]
+	for _, s := range e.shards {
+		buf = append(buf, s.ops...)
+		s.ops = s.ops[:0]
+	}
+	if len(buf) > 0 {
+		sort.SliceStable(buf, func(i, j int) bool {
+			return buf[i].W.SwitchID < buf[j].W.SwitchID
+		})
+		e.fabric.ReplayShardOps(now, buf)
+	}
+	e.opScratch = buf[:0]
+}
+
+// replayEndpointEvents merges every shard's deferred NI events by
+// ascending endpoint index — the serial NI sweep order (an endpoint's
+// events live in exactly one shard's log in occurrence order, preserved
+// by the stable sort) — and invokes the real hooks.
+func (e *Engine) replayEndpointEvents(now sim.Cycle) {
+	buf := e.eventScratch[:0]
+	for _, s := range e.shards {
+		buf = append(buf, s.events...)
+		s.events = s.events[:0]
+	}
+	if len(buf) > 0 {
+		sort.SliceStable(buf, func(i, j int) bool { return buf[i].ep < buf[j].ep })
+		for i := range buf {
+			ev := &buf[i]
+			switch ev.kind {
+			case evDelivered:
+				e.deliverPacket(now, ev.pkt)
+			case evClassify:
+				e.classifyPacket(now, ev.pkt)
+			case evInjected:
+				e.wd.onInjected(now, ev.pkt)
+			}
+			ev.pkt = nil
+		}
+	}
+	e.eventScratch = buf[:0]
+}
+
+// CheckShardInvariants checks the incrementally maintained state owned by
+// shard si: the pipeline invariants of its switches and the MAC protocol
+// invariants of its wireless sub-channels. Safe to call concurrently from
+// distinct shards (test hook for per-shard, per-cycle validation).
+func (e *Engine) CheckShardInvariants(si int) error {
+	s := e.shards[si]
+	for _, i := range s.switchIdx {
+		if err := e.switches[i].CheckPipelineInvariants(); err != nil {
+			return err
+		}
+	}
+	if e.fabric != nil {
+		for _, ci := range s.subs {
+			if err := e.fabric.CheckSubChannel(ci); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -45,7 +45,7 @@ func (e *Engine) tracePacket(p *noc.Packet) {
 		InjectedAt:  p.InjectedAt,
 		DeliveredAt: p.DeliveredAt,
 		Hops:        p.Hops,
-		EnergyPJ:    p.EnergyPJ,
+		EnergyPJ:    p.EnergyPJ(),
 		Retransmits: p.Retransmits,
 		ReplyFor:    p.ReplyFor,
 	}

@@ -134,3 +134,45 @@ func TestRunEmptyBatch(t *testing.T) {
 		}
 	}
 }
+
+// TestShardedRunsUnderPool nests intra-run sharding inside the runner's
+// inter-run parallelism: one faulty 4-chip configuration (distance-scaled
+// PER, a WI fail-stop, adaptive failover routing) runs at shard counts
+// 0/1/2/4 concurrently through the pool, and every sharded run must be
+// byte-identical to the serial one. Short-mode friendly so the CI race
+// job drives the sharded engine's barrier, mailboxes and deferred-replay
+// logs under the race detector.
+func TestShardedRunsUnderPool(t *testing.T) {
+	base := config.MustXCYM(4, 4, config.ArchHybrid)
+	base.WarmupCycles = 100
+	base.MeasureCycles = 600
+	base.Channel = config.ChannelExclusive
+	base.ChannelAssign = config.AssignSpatialReuse
+	base.WirelessChannels = 2
+	base.RouteSelectMode = config.SelectAdaptive
+	base.WirelessPER = 0.02
+	base.FaultSchedule = []config.FaultEvent{
+		{Cycle: 150, Kind: config.FaultWIFail, WI: 2},
+	}
+	shardCounts := []int{0, 1, 2, 4}
+	var ps []engine.Params
+	for _, n := range shardCounts {
+		cfg := base
+		cfg.EngineShards = n
+		ps = append(ps, engine.Params{
+			Cfg:     cfg,
+			Traffic: engine.TrafficSpec{Kind: engine.TrafficUniform, Rate: 1.0, MemFraction: 0.2, PacketFlits: 16},
+		})
+	}
+	rs, err := Run(len(ps), ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, _ := json.Marshal(rs[0])
+	for i, n := range shardCounts[1:] {
+		got, _ := json.Marshal(rs[i+1])
+		if string(got) != string(serial) {
+			t.Fatalf("shards=%d under the pool diverged from serial:\n%s\n%s", n, serial, got)
+		}
+	}
+}

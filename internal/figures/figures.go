@@ -94,6 +94,11 @@ type Opts struct {
 	// Policies overrides the arbitration-policy ladder of the policy
 	// sweep. Empty selects all four policies (rotate first).
 	Policies []config.MACPolicy
+	// Shards splits every simulation tick across this many worker
+	// shards (config.EngineShards). 0 keeps the serial engine. Results
+	// are byte-identical at every shard count, so this composes freely
+	// with Workers (run-level parallelism).
+	Shards int
 }
 
 func (o Opts) apply(cfg *config.Config) {
@@ -103,6 +108,9 @@ func (o Opts) apply(cfg *config.Config) {
 	}
 	if o.Seed != 0 {
 		cfg.Seed = o.Seed
+	}
+	if o.Shards != 0 {
+		cfg.EngineShards = o.Shards
 	}
 }
 
@@ -117,6 +125,9 @@ func (o Opts) applyApp(cfg *config.Config) {
 	}
 	if o.Seed != 0 {
 		cfg.Seed = o.Seed
+	}
+	if o.Shards != 0 {
+		cfg.EngineShards = o.Shards
 	}
 }
 

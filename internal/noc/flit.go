@@ -7,7 +7,9 @@ package noc
 
 import (
 	"fmt"
+	"sync/atomic"
 
+	"wimc/internal/energy"
 	"wimc/internal/sim"
 )
 
@@ -86,8 +88,13 @@ type Packet struct {
 	// changes class mid-flight.
 	RouteClass uint8
 
-	// EnergyPJ accumulates dynamic energy attributed to this packet.
-	EnergyPJ float64
+	// energyFP accumulates dynamic energy attributed to this packet in
+	// fixed-point picojoules (energy.FPScale). It is an atomic integer
+	// because, under sharded execution, flits of one packet can traverse
+	// switches owned by different shards in the same cycle; integer sums
+	// are order-independent, which keeps per-packet energy byte-identical
+	// at every shard count. Read it through EnergyPJ.
+	energyFP int64
 
 	// arrivedFlits counts flits consumed at the destination (reassembly
 	// bookkeeping; the tail may not be the last to arrive only if the
@@ -118,7 +125,15 @@ type Packet struct {
 func (p *Packet) Bits(flitBits int) int { return p.NumFlits * flitBits }
 
 // AddEnergy attributes pj picojoules of dynamic energy to the packet.
-func (p *Packet) AddEnergy(pj float64) { p.EnergyPJ += pj }
+// Safe to call from concurrent engine shards.
+func (p *Packet) AddEnergy(pj float64) {
+	atomic.AddInt64(&p.energyFP, energy.QuantizePJ(pj))
+}
+
+// EnergyPJ returns the dynamic energy attributed to the packet so far.
+func (p *Packet) EnergyPJ() float64 {
+	return float64(atomic.LoadInt64(&p.energyFP)) / energy.FPScale
+}
 
 // Latency returns the queue-to-delivery latency in cycles (valid after
 // delivery).

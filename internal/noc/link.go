@@ -43,6 +43,10 @@ type Link struct {
 
 	active   *sim.ActiveSet
 	activeID int
+
+	// mailbox, when non-nil, replaces direct delivery with the parity
+	// ping-pong handoff of sharded execution (see mailbox.go).
+	mailbox *linkMailbox
 }
 
 // NewLink constructs a directed link. Wiring to switch ports is performed

@@ -1,0 +1,96 @@
+package noc
+
+import "wimc/internal/sim"
+
+// linkMailbox splits a Link's Deliver phase into two single-writer halves
+// for sharded engine execution. A boundary link — one whose endpoints live
+// in different shards — cannot call dst.Receive or src.ReturnCredit from
+// the owning shard's goroutine without racing the peer shard's pipeline
+// sweeps, so each side instead parks due traffic in a parity ping-pong
+// buffer that the peer shard drains at the start of the NEXT cycle:
+//
+//   - The source shard owns the token bucket, the inflight queue
+//     (Accept/DeliverFlitHalf) and drains the credit inbox.
+//   - The destination shard owns the credit queue
+//     (ReturnCredit/DeliverCreditHalf) and drains the flit inbox.
+//
+// Parity makes the handoff race-free without locks: the half that pops due
+// entries at cycle t writes buffer t&1, while the peer's drain at cycle t
+// reads buffer (t&1)^1 — i.e. what was written at t-1 — so a buffer is
+// never written and read in the same cycle, and the per-cycle barrier
+// between cycles orders the accesses.
+//
+// Timing is byte-identical to the serial Deliver: serially, a flit due at
+// cycle t is pushed into the destination's input ring after the pipeline
+// sweeps of cycle t, so the destination pipeline first sees it at t+1.
+// Through the mailbox, the flit is parked at t and received at the start
+// of cycle t+1, before the sweeps — again first seen by the pipeline at
+// t+1. Credits are symmetric. (Cross-port arrival order within a cycle is
+// immaterial: each input port has its own ring.)
+type linkMailbox struct {
+	flits   [2][]Flit
+	credits [2][]int
+}
+
+// SetMailbox switches the link into mailbox (sharded-boundary) mode.
+// Deliver must no longer be called; the engine calls the two halves and
+// the two drains instead, every cycle, from the owning shards.
+func (l *Link) SetMailbox() {
+	l.mailbox = &linkMailbox{}
+}
+
+// Mailboxed reports whether the link is in mailbox mode.
+func (l *Link) Mailboxed() bool { return l.mailbox != nil }
+
+// DeliverFlitHalf pops flits that completed traversal at cycle now into
+// the parity inbox read by the destination shard at now+1. Source-shard
+// owned.
+func (l *Link) DeliverFlitHalf(now sim.Cycle) {
+	mb := l.mailbox
+	for !l.inflight.Empty() && l.inflight.Peek().at <= now {
+		tf := l.inflight.Pop()
+		mb.flits[now&1] = append(mb.flits[now&1], tf.f)
+	}
+}
+
+// DeliverCreditHalf pops credits that completed traversal at cycle now
+// into the parity inbox read by the source shard at now+1.
+// Destination-shard owned.
+func (l *Link) DeliverCreditHalf(now sim.Cycle) {
+	mb := l.mailbox
+	for !l.credits.Empty() && l.credits.Peek().at <= now {
+		tc := l.credits.Pop()
+		mb.credits[now&1] = append(mb.credits[now&1], tc.vc)
+	}
+}
+
+// DrainFlitInbox receives the flits parked at cycle now-1 into the
+// destination switch, before the destination shard's pipeline sweeps.
+// Destination-shard owned.
+func (l *Link) DrainFlitInbox(now sim.Cycle) {
+	buf := &l.mailbox.flits[(now&1)^1]
+	for _, f := range *buf {
+		l.dst.Receive(l.dstPort, int(f.VC), f)
+	}
+	*buf = (*buf)[:0]
+}
+
+// DrainCreditInbox returns the credits parked at cycle now-1 to the source
+// switch, before the source shard's pipeline sweeps. Source-shard owned.
+func (l *Link) DrainCreditInbox(now sim.Cycle) {
+	buf := &l.mailbox.credits[(now&1)^1]
+	for _, vc := range *buf {
+		l.src.ReturnCredit(l.srcPort, vc)
+	}
+	*buf = (*buf)[:0]
+}
+
+// MailboxFlits counts flits parked in the mailbox (either parity), for
+// flit-conservation accounting: a parked flit is neither on the wire nor
+// in a switch buffer.
+func (l *Link) MailboxFlits() int {
+	if l.mailbox == nil {
+		return 0
+	}
+	return len(l.mailbox.flits[0]) + len(l.mailbox.flits[1])
+}

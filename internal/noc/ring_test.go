@@ -135,8 +135,8 @@ func TestPacketAccessors(t *testing.T) {
 	}
 	p.AddEnergy(2.5)
 	p.AddEnergy(1.5)
-	if p.EnergyPJ != 4 {
-		t.Fatalf("energy = %v", p.EnergyPJ)
+	if p.EnergyPJ() != 4 {
+		t.Fatalf("energy = %v", p.EnergyPJ())
 	}
 	if KindHead.String() != "head" || FlitKind(9).String() == "" {
 		t.Fatal("kind strings")

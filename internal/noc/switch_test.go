@@ -260,8 +260,8 @@ func TestSwitchEnergyPerTraversal(t *testing.T) {
 	if got := p.meter.DynamicPJ(energyClassSwitch()); got != want {
 		t.Fatalf("switch energy = %v pJ, want %v", got, want)
 	}
-	if pkt.EnergyPJ < want {
-		t.Fatalf("packet attribution %v pJ missing switch energy", pkt.EnergyPJ)
+	if pkt.EnergyPJ() < want {
+		t.Fatalf("packet attribution %v pJ missing switch energy", pkt.EnergyPJ())
 	}
 }
 

@@ -91,7 +91,7 @@ func (c *Collector) OnDelivered(now sim.Cycle, p *noc.Packet) {
 		c.WindowPackets++
 		c.WindowFlits += int64(p.NumFlits)
 		c.WindowBits += int64(p.NumFlits * c.flitBits)
-		c.WindowEnergyPJ += p.EnergyPJ
+		c.WindowEnergyPJ += p.EnergyPJ()
 		c.WindowLatSum += float64(p.Latency())
 		c.WindowHopSum += int64(p.Hops)
 	}
@@ -105,7 +105,7 @@ func (c *Collector) OnDelivered(now sim.Cycle, p *noc.Packet) {
 	c.NetLatSum += float64(p.NetworkLatency())
 	c.QueueLatSum += float64(p.InjectedAt - p.CreatedAt)
 	c.HopSum += int64(p.Hops)
-	c.EnergyPJSum += p.EnergyPJ
+	c.EnergyPJSum += p.EnergyPJ()
 	c.Retransmits += int64(p.Retransmits)
 	if lat > c.MaxLatency {
 		c.MaxLatency = lat
@@ -114,7 +114,7 @@ func (c *Collector) OnDelivered(now sim.Cycle, p *noc.Packet) {
 	if rc := int(p.RouteClass); rc < len(c.RCPackets) {
 		c.RCPackets[rc]++
 		c.RCLatSum[rc] += float64(lat)
-		c.RCEnergy[rc] += p.EnergyPJ
+		c.RCEnergy[rc] += p.EnergyPJ()
 	}
 	switch p.Class {
 	case noc.ClassCoreToMem:
