@@ -1,0 +1,79 @@
+// Command wimclint runs the first-party determinism-and-dead-knob analyzer
+// suite (internal/lint) over the given package patterns and exits nonzero
+// on any finding. It is the multichecker CI gate:
+//
+//	go run ./cmd/wimclint ./...
+//
+// Analyzers: detorder (no range-over-map in deterministic packages),
+// noclock (no wall clock / global rand / env reads there), deadknob (every
+// exported config.Config field must be read by config.Validate), and
+// shardwrite (mailbox mutation methods stay with their owning packages).
+// See internal/lint/doc.go for the escape-hatch comment formats.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"wimc/internal/lint"
+	"wimc/internal/lint/analysis"
+)
+
+func main() {
+	only := flag.String("only", "", "comma-separated analyzer names to run (default: all)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Usage = func() {
+		fmt.Fprintf(flag.CommandLine.Output(), "usage: wimclint [-only a,b] [packages]\n\n")
+		flag.PrintDefaults()
+		fmt.Fprintf(flag.CommandLine.Output(), "\nanalyzers:\n")
+		for _, a := range lint.Suite() {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-12s %s\n", a.Name, a.Doc)
+		}
+	}
+	flag.Parse()
+
+	analyzers := lint.Suite()
+	if *list {
+		for _, a := range analyzers {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+	if *only != "" {
+		want := make(map[string]bool)
+		for _, n := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(n)] = true
+		}
+		var sel []*analysis.Analyzer
+		for _, a := range analyzers {
+			if want[a.Name] {
+				sel = append(sel, a)
+				delete(want, a.Name)
+			}
+		}
+		for n := range want {
+			fmt.Fprintf(os.Stderr, "wimclint: unknown analyzer %q\n", n)
+			os.Exit(2)
+		}
+		analyzers = sel
+	}
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+
+	findings, err := lint.Run(".", analyzers, patterns...)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wimclint: %v\n", err)
+		os.Exit(2)
+	}
+	for _, f := range findings {
+		fmt.Println(f)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "wimclint: %d finding(s)\n", len(findings))
+		os.Exit(1)
+	}
+}

@@ -187,7 +187,13 @@ const (
 )
 
 // Config is the complete description of one simulated system.
+//
+// Every exported field must be read by Validate — wimclint's deadknob
+// analyzer enforces this, so a new knob cannot ship dead or unvalidated
+// (see internal/lint). Fields with no invalid value carry a justified
+// //lint:deadknob-exempt comment instead.
 type Config struct {
+	//lint:deadknob-exempt free-form experiment label; every string is valid and nothing reads it back
 	Name string       `json:"name"`
 	Arch Architecture `json:"arch"`
 
@@ -274,6 +280,7 @@ type Config struct {
 	RouteSelectMode RouteSelect `json:"route_select"`
 
 	// Run control.
+	//lint:deadknob-exempt every 64-bit value is a valid seed; determinism is per-seed, not seed-range
 	Seed          uint64 `json:"seed"`
 	WarmupCycles  int64  `json:"warmup_cycles"`
 	MeasureCycles int64  `json:"measure_cycles"`
@@ -569,13 +576,21 @@ func (c Config) Validate() error {
 		{"tx_buffer_flits", c.TXBufferFlits, 1},
 		{"mesh_latency_cycles", c.MeshLatency, 1},
 		{"wireless_hop_weight", c.WirelessHopWeight, 1},
+		{"pipeline_stages", c.PipelineStages, 1},
+		{"serial_latency_cycles", c.SerialLatency, 1},
+		{"interposer_latency_cycles", c.InterposerLatency, 1},
+		{"wide_io_latency_cycles", c.WideIOLatency, 1},
+		{"tsv_latency_cycles", c.TSVLatency, 0},
 	} {
 		if b.v < b.min {
 			return fmt.Errorf("config: %s must be >= %d, got %d", b.name, b.min, b.v)
 		}
 	}
 	// NaN compares false against every bound below, so non-finite floats
-	// would otherwise sail through the range checks (found by FuzzValidate).
+	// would otherwise sail through the range checks (found by FuzzValidate
+	// for the first four; deadknob surfaced that the remaining physical
+	// constants had no checks at all — a NaN pJ/bit silently poisons every
+	// energy figure).
 	for _, fk := range []struct {
 		name string
 		v    float64
@@ -584,10 +599,76 @@ func (c Config) Validate() error {
 		{"wireless_gbps", c.WirelessGbps},
 		{"wireless_ber", c.WirelessBER},
 		{"wireless_per", c.WirelessPER},
+		{"chip_edge_mm", c.ChipEdgeMM},
+		{"mesh_pj_per_bit", c.MeshPJPerBit},
+		{"serial_gbps", c.SerialGbps},
+		{"serial_pj_per_bit", c.SerialPJPerBit},
+		{"interposer_gbps", c.InterposerGbps},
+		{"interposer_pj_per_bit", c.InterposerPJPerBit},
+		{"wide_io_gbps", c.WideIOGbps},
+		{"wide_io_pj_per_bit", c.WideIOPJPerBit},
+		{"tsv_pj_per_bit_per_layer", c.TSVPJPerBitPerLayer},
+		{"local_pj_per_bit", c.LocalPJPerBit},
+		{"switch_pj_per_bit", c.SwitchPJPerBit},
+		{"switch_static_mw", c.SwitchStaticMW},
+		{"interposer_boundary_fraction", c.InterposerBoundaryFr},
+		{"wireless_pj_per_bit", c.WirelessPJPerBit},
+		{"wi_rx_active_mw", c.WIRxActiveMW},
+		{"wi_sleep_mw", c.WISleepMW},
+		{"crossbar_egress_gbps", c.CrossbarEgressGbp},
 	} {
 		if math.IsNaN(fk.v) || math.IsInf(fk.v, 0) {
 			return fmt.Errorf("config: %s must be finite, got %v", fk.name, fk.v)
 		}
+	}
+	// Physical-layer constants (deadknob cleanup: these were settable but
+	// never sanity-checked). Energy and power constants must be
+	// non-negative; per-technology line rates must be positive; the chip
+	// edge sets WI placement distances and the fault model's distance
+	// scaling, so it must be positive too.
+	for _, fk := range []struct {
+		name string
+		v    float64
+	}{
+		{"mesh_pj_per_bit", c.MeshPJPerBit},
+		{"serial_pj_per_bit", c.SerialPJPerBit},
+		{"interposer_pj_per_bit", c.InterposerPJPerBit},
+		{"wide_io_pj_per_bit", c.WideIOPJPerBit},
+		{"tsv_pj_per_bit_per_layer", c.TSVPJPerBitPerLayer},
+		{"local_pj_per_bit", c.LocalPJPerBit},
+		{"switch_pj_per_bit", c.SwitchPJPerBit},
+		{"switch_static_mw", c.SwitchStaticMW},
+		{"wireless_pj_per_bit", c.WirelessPJPerBit},
+		{"wi_rx_active_mw", c.WIRxActiveMW},
+		{"wi_sleep_mw", c.WISleepMW},
+		{"crossbar_egress_gbps", c.CrossbarEgressGbp},
+	} {
+		if fk.v < 0 {
+			return fmt.Errorf("config: %s must be >= 0, got %v", fk.name, fk.v)
+		}
+	}
+	for _, fk := range []struct {
+		name string
+		v    float64
+	}{
+		{"chip_edge_mm", c.ChipEdgeMM},
+		{"serial_gbps", c.SerialGbps},
+		{"interposer_gbps", c.InterposerGbps},
+		{"wide_io_gbps", c.WideIOGbps},
+	} {
+		if fk.v <= 0 {
+			return fmt.Errorf("config: %s must be positive, got %v", fk.name, fk.v)
+		}
+	}
+	if c.InterposerBoundaryFr <= 0 || c.InterposerBoundaryFr > 1 {
+		// The topology builder used to clamp this silently; a budget outside
+		// (0,1] is now rejected, not reinterpreted (the PR 3 rule).
+		return fmt.Errorf("config: interposer_boundary_fraction must be in (0,1], got %v", c.InterposerBoundaryFr)
+	}
+	if c.SleepEnabled && c.WISleepMW > c.WIRxActiveMW {
+		// Contradictory knob pair: power-gated receivers that burn more than
+		// awake ones would make sleep mode silently pessimal.
+		return fmt.Errorf("config: wi_sleep_mw (%v) exceeds wi_rx_active_mw (%v) with sleep_enabled: power-gating cannot cost more than staying awake", c.WISleepMW, c.WIRxActiveMW)
 	}
 	if c.ClockGHz <= 0 {
 		return fmt.Errorf("config: clock_ghz must be positive, got %v", c.ClockGHz)

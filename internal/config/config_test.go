@@ -1,6 +1,7 @@
 package config
 
 import (
+	"math"
 	"reflect"
 	"strings"
 	"testing"
@@ -258,6 +259,40 @@ func TestValidationErrors(t *testing.T) {
 			c.WirelessChannels = 1
 			c.FaultSchedule = []FaultEvent{{Cycle: 10, Kind: FaultOutage, SubChannel: 0}}
 		}},
+		// Physical-layer knobs surfaced by wimclint's deadknob analyzer:
+		// until this cleanup none of these were read by Validate at all.
+		{"nan mesh energy", func(c *Config) { c.MeshPJPerBit = math.NaN() }},
+		{"negative serial energy", func(c *Config) { c.SerialPJPerBit = -1 }},
+		{"inf interposer rate", func(c *Config) { c.InterposerGbps = math.Inf(1) }},
+		{"zero serial rate", func(c *Config) { c.SerialGbps = 0 }},
+		{"zero wide-io rate", func(c *Config) { c.WideIOGbps = 0 }},
+		{"negative switch static power", func(c *Config) { c.SwitchStaticMW = -2 }},
+		{"negative tsv energy", func(c *Config) { c.TSVPJPerBitPerLayer = -0.05 }},
+		{"negative local energy", func(c *Config) { c.LocalPJPerBit = -0.1 }},
+		{"negative wireless energy", func(c *Config) { c.WirelessPJPerBit = -2.3 }},
+		{"negative crossbar egress", func(c *Config) { c.CrossbarEgressGbp = -1 }},
+		{"zero chip edge", func(c *Config) { c.ChipEdgeMM = 0 }},
+		{"nan chip edge", func(c *Config) { c.ChipEdgeMM = math.NaN() }},
+		{"zero pipeline stages", func(c *Config) { c.PipelineStages = 0 }},
+		{"zero serial latency", func(c *Config) { c.SerialLatency = 0 }},
+		{"zero interposer latency", func(c *Config) { c.InterposerLatency = 0 }},
+		{"zero wide-io latency", func(c *Config) { c.WideIOLatency = 0 }},
+		{"negative tsv latency", func(c *Config) { c.TSVLatency = -1 }},
+		{"boundary fraction zero", func(c *Config) {
+			// Previously clamped to 1 silently by the topology builder —
+			// the exact reinterpret-instead-of-reject bug class.
+			c.Arch = ArchInterposer
+			c.InterposerBoundaryFr = 0
+		}},
+		{"boundary fraction above one", func(c *Config) {
+			c.Arch = ArchInterposer
+			c.InterposerBoundaryFr = 1.5
+		}},
+		{"sleep power exceeds active power", func(c *Config) {
+			c.SleepEnabled = true
+			c.WISleepMW = 2 * c.WIRxActiveMW
+		}},
+		{"negative sleep power", func(c *Config) { c.WISleepMW = -0.05 }},
 	}
 	for _, tc := range mutations {
 		t.Run(tc.name, func(t *testing.T) {

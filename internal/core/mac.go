@@ -76,6 +76,7 @@ func (fb *Fabric) launchSub(sub *subChannel, now sim.Cycle) bool {
 	case phaseData:
 		src := sub.members[sub.turn]
 		src.awake = true
+		//lint:detorder-safe idempotent flag set per destination; no read until after Launch, so order cannot reach state
 		for i := range sub.announceDests {
 			fb.wis[i].awake = true
 		}
@@ -107,9 +108,7 @@ func (fb *Fabric) startTurn(sub *subChannel, now sim.Cycle) {
 	sub.turnTx = 0
 	sub.drainStall = 0
 	fb.busySubs++
-	for k := range sub.announceDests {
-		delete(sub.announceDests, k)
-	}
+	clear(sub.announceDests)
 	for q := range src.announced {
 		src.announced[q] = 0
 	}

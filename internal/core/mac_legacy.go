@@ -65,6 +65,7 @@ func (fb *Fabric) launchExclusiveLegacy(now sim.Cycle) {
 	case phaseData:
 		src := fb.wis[l.turn]
 		src.awake = true
+		//lint:detorder-safe idempotent flag set per destination; no read until after Launch, so order cannot reach state
 		for i := range l.announceDests {
 			fb.wis[i].awake = true
 		}
@@ -88,9 +89,7 @@ func (fb *Fabric) startTurnLegacy() {
 	l := fb.legacy
 	src := fb.wis[l.turn]
 	l.announceLeft = 0
-	for k := range l.announceDests {
-		delete(l.announceDests, k)
-	}
+	clear(l.announceDests)
 	for q := range src.announced {
 		src.announced[q] = 0
 	}

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"fmt"
+	"sort"
 
 	"wimc/internal/energy"
 	"wimc/internal/noc"
@@ -436,8 +437,17 @@ func (e *Engine) linkUtilization() map[string]float64 {
 		counts[energy.ClassWireless] = float64(e.fabric.ConcurrencyBudget())
 	}
 
+	// Iterate classes in sorted order: each key is written exactly once so
+	// the resulting map is order-insensitive, but sorting keeps the loop
+	// inside the detorder discipline rather than relying on that argument.
+	classes := make([]energy.Class, 0, len(counts))
+	for cl := range counts {
+		classes = append(classes, cl)
+	}
+	sort.Slice(classes, func(i, j int) bool { return classes[i] < classes[j] })
 	out := make(map[string]float64, len(counts))
-	for cl, n := range counts {
+	for _, cl := range classes {
+		n := counts[cl]
 		if n == 0 {
 			continue
 		}

@@ -1,6 +1,7 @@
 package engine
 
 import (
+	"math"
 	"strings"
 	"testing"
 
@@ -27,6 +28,30 @@ func TestThinnedInterposerFailsDeadlockCheck(t *testing.T) {
 	if _, err := New(Params{Cfg: cfg, SkipDeadlockCheck: true,
 		Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.001, MemFraction: 0.2}}); err != nil {
 		t.Fatalf("SkipDeadlockCheck did not bypass the check: %v", err)
+	}
+}
+
+// TestDeadknobCleanupRejectedAtEngine pins the deadknob cleanup end to
+// end: physical-layer knobs that wimclint's deadknob analyzer surfaced as
+// never-validated (a NaN energy constant would previously poison every
+// pJ/bit figure silently; an out-of-range µbump budget was silently
+// clamped to 1 by the topology builder) are now rejected before an engine
+// is ever built.
+func TestDeadknobCleanupRejectedAtEngine(t *testing.T) {
+	traffic := TrafficSpec{Kind: TrafficUniform, Rate: 0.001, MemFraction: 0.2}
+
+	cfg := quickCfg(4, config.ArchWireless)
+	cfg.WirelessPJPerBit = math.NaN()
+	if _, err := New(Params{Cfg: cfg, Traffic: traffic}); err == nil ||
+		!strings.Contains(err.Error(), "wireless_pj_per_bit") {
+		t.Fatalf("NaN wireless_pj_per_bit not rejected: %v", err)
+	}
+
+	cfg = quickCfg(4, config.ArchInterposer)
+	cfg.InterposerBoundaryFr = 1.5
+	if _, err := New(Params{Cfg: cfg, Traffic: traffic}); err == nil ||
+		!strings.Contains(err.Error(), "interposer_boundary_fraction") {
+		t.Fatalf("out-of-range interposer_boundary_fraction not rejected: %v", err)
 	}
 }
 

@@ -113,6 +113,7 @@ func HybridSweep(o Opts) (*Table, error) {
 		for ki := range ks {
 			a := cell(ki, 1)
 			total := int64(0)
+			//lint:detorder-safe integer sum over the map's values is commutative; order cannot change the total
 			for _, n := range a.RouteClassPackets {
 				total += n
 			}

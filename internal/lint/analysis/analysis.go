@@ -1,0 +1,53 @@
+// Package analysis is a minimal, dependency-free reimplementation of the
+// golang.org/x/tools/go/analysis driver contract: an Analyzer owns a Run
+// function that inspects one type-checked package through a Pass and reports
+// Diagnostics. The build environment bakes in only the Go toolchain, so the
+// x/tools module is deliberately not a dependency; the API mirrors its shape
+// (Analyzer, Pass, Diagnostic, Pass.Reportf) closely enough that the
+// analyzers in internal/lint would port to the real framework by changing
+// imports alone.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// Analyzer describes one static check.
+type Analyzer struct {
+	// Name identifies the analyzer in diagnostics and -flag selection.
+	// It must be a valid Go identifier.
+	Name string
+	// Doc is the one-paragraph description printed by `wimclint -help`.
+	Doc string
+	// Run applies the check to one package. It reports findings through
+	// pass.Report/Reportf and returns an error only for operational
+	// failures (a failed report is a diagnostic, not an error).
+	Run func(*Pass) error
+}
+
+// Pass carries one type-checked package to an Analyzer's Run function.
+type Pass struct {
+	Analyzer *Analyzer
+
+	Fset      *token.FileSet
+	Files     []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	// Report delivers one diagnostic. The driver installs it.
+	Report func(Diagnostic)
+}
+
+// Diagnostic is one finding at one source position.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+}
+
+// Reportf reports a formatted diagnostic at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.Report(Diagnostic{Pos: pos, Message: fmt.Sprintf(format, args...)})
+}

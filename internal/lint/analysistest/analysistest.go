@@ -1,0 +1,121 @@
+// Package analysistest runs one analyzer over a testdata corpus and checks
+// its diagnostics against `// want` expectations, mirroring the contract of
+// golang.org/x/tools/go/analysis/analysistest (which this build environment
+// cannot vendor): a comment of the form
+//
+//	code() // want `regexp` "another regexp"
+//
+// on a source line asserts that the analyzer reports, on that same line,
+// one diagnostic matching each listed pattern — no more, no fewer.
+// Diagnostics without a matching expectation, and expectations without a
+// matching diagnostic, both fail the test.
+package analysistest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"wimc/internal/lint/analysis"
+	"wimc/internal/lint/loader"
+)
+
+// wantRE extracts the quoted patterns of a want comment: Go double-quoted
+// or backquoted string literals.
+var wantRE = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+// Run loads the packages matched by patterns (relative to the test's
+// working directory, conventionally ./testdata/src/...), applies the
+// analyzer to each, and matches diagnostics against want comments.
+func Run(t *testing.T, a *analysis.Analyzer, patterns ...string) {
+	t.Helper()
+	fset := token.NewFileSet()
+	pkgs, err := loader.Load(fset, ".", patterns...)
+	if err != nil {
+		t.Fatalf("analysistest: %v", err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatalf("analysistest: no packages matched %v", patterns)
+	}
+
+	var wants []*expectation
+	var diags []analysis.Diagnostic
+	for _, pkg := range pkgs {
+		for _, f := range pkg.Files {
+			for _, cg := range f.Comments {
+				for _, c := range cg.List {
+					text := strings.TrimSpace(strings.TrimPrefix(c.Text, "//"))
+					if !strings.HasPrefix(text, "want ") {
+						continue
+					}
+					pos := fset.Position(c.Pos())
+					lits := wantRE.FindAllString(text[len("want "):], -1)
+					if len(lits) == 0 {
+						t.Errorf("%s: malformed want comment: %s", pos, c.Text)
+						continue
+					}
+					for _, lit := range lits {
+						var pat string
+						if lit[0] == '`' {
+							pat = lit[1 : len(lit)-1]
+						} else if pat, err = strconv.Unquote(lit); err != nil {
+							t.Errorf("%s: bad want pattern %s: %v", pos, lit, err)
+							continue
+						}
+						re, err := regexp.Compile(pat)
+						if err != nil {
+							t.Errorf("%s: bad want regexp %q: %v", pos, pat, err)
+							continue
+						}
+						wants = append(wants, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+					}
+				}
+			}
+		}
+		pass := &analysis.Pass{
+			Analyzer:  a,
+			Fset:      fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.TypesInfo,
+		}
+		pass.Report = func(d analysis.Diagnostic) { diags = append(diags, d) }
+		if err := a.Run(pass); err != nil {
+			t.Fatalf("analysistest: %s on %s: %v", a.Name, pkg.PkgPath, err)
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		if !claim(wants, pos.Filename, pos.Line, d.Message) {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s: no diagnostic matching %q", fmt.Sprintf("%s:%d", w.file, w.line), w.pattern)
+		}
+	}
+}
+
+// claim marks the first unmatched expectation on (file, line) whose pattern
+// matches message, reporting whether one was found.
+func claim(wants []*expectation, file string, line int, message string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == file && w.line == line && w.pattern.MatchString(message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,137 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+
+	"wimc/internal/lint/analysis"
+)
+
+// DeadknobExempt is the escape-hatch directive word for config fields that
+// genuinely have no invalid value (free-form labels, seeds):
+//
+//	//lint:deadknob-exempt <why every value of this field is valid>
+//
+// on the field's declaration line or the line above. The justification is
+// mandatory.
+const DeadknobExempt = "deadknob-exempt"
+
+// NewDeadknob returns the deadknob analyzer for one configuration package:
+// every exported field of structName must be read somewhere in the body of
+// validateName or a same-package function (transitively) reachable from it.
+// A field the validator never looks at is either dead (set but ignored — the
+// exclusive+single+K>1 class of bug fixed by hand in PR 3) or unvalidated
+// (NaN energy constants sail into results — the class the PR 7 fuzzer
+// caught for four floats out of dozens). Both are findings.
+func NewDeadknob(pkgPath, structName, validateName string) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "deadknob",
+		Doc:  "require every exported config field to be read by the validator",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if pass.Pkg.Path() != pkgPath {
+			return nil
+		}
+		obj := pass.Pkg.Scope().Lookup(structName)
+		if obj == nil {
+			return fmt.Errorf("deadknob: %s.%s not found", pkgPath, structName)
+		}
+		named, ok := obj.Type().(*types.Named)
+		if !ok {
+			return fmt.Errorf("deadknob: %s is not a named type", structName)
+		}
+		st, ok := named.Underlying().(*types.Struct)
+		if !ok {
+			return fmt.Errorf("deadknob: %s is not a struct", structName)
+		}
+		fields := make(map[types.Object]bool) // field -> read by validator
+		for i := 0; i < st.NumFields(); i++ {
+			if f := st.Field(i); f.Exported() {
+				fields[f] = false
+			}
+		}
+		validate, _, _ := types.LookupFieldOrMethod(named, true, pass.Pkg, validateName)
+		vfn, ok := validate.(*types.Func)
+		if !ok {
+			return fmt.Errorf("deadknob: %s.%s has no %s method or function", pkgPath, structName, validateName)
+		}
+
+		// One pass over the syntax builds, per declared function, the set of
+		// struct fields it reads and the same-package functions it mentions;
+		// reachability from the validator then unions the field sets.
+		type funcFacts struct {
+			reads   []types.Object
+			callees []*types.Func
+		}
+		facts := make(map[*types.Func]*funcFacts)
+		for _, f := range pass.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				fn, ok := pass.TypesInfo.Defs[fd.Name].(*types.Func)
+				if !ok {
+					continue
+				}
+				ff := &funcFacts{}
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					id, ok := n.(*ast.Ident)
+					if !ok {
+						return true
+					}
+					switch o := pass.TypesInfo.Uses[id].(type) {
+					case *types.Var:
+						if _, isField := fields[o]; isField {
+							ff.reads = append(ff.reads, o)
+						}
+					case *types.Func:
+						if o.Pkg() == pass.Pkg {
+							ff.callees = append(ff.callees, o)
+						}
+					}
+					return true
+				})
+				facts[fn] = ff
+			}
+		}
+		seen := map[*types.Func]bool{vfn: true}
+		work := []*types.Func{vfn}
+		for len(work) > 0 {
+			fn := work[len(work)-1]
+			work = work[:len(work)-1]
+			ff := facts[fn]
+			if ff == nil {
+				continue
+			}
+			for _, r := range ff.reads {
+				fields[r] = true
+			}
+			for _, c := range ff.callees {
+				if !seen[c] {
+					seen[c] = true
+					work = append(work, c)
+				}
+			}
+		}
+
+		directives := newDirectiveIndex(pass.Fset, pass.Files, DeadknobExempt)
+		for i := 0; i < st.NumFields(); i++ {
+			f := st.Field(i)
+			read, tracked := fields[f]
+			if !tracked || read {
+				continue
+			}
+			if present, justification := directives.at(f.Pos()); present {
+				if justification == "" {
+					pass.Reportf(f.Pos(), "bare //lint:%s directive on %s.%s: a justification is required", DeadknobExempt, structName, f.Name())
+				}
+				continue
+			}
+			pass.Reportf(f.Pos(), "%s.%s is never read by %s: a knob the validator ignores is dead or unvalidated; reject bad values there or annotate //lint:%s <reason>", structName, f.Name(), validateName, DeadknobExempt)
+		}
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,143 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"wimc/internal/lint/analysis"
+)
+
+// DetorderSafe is the escape-hatch directive word: a comment of the form
+//
+//	//lint:detorder-safe <why the iteration order cannot reach a result>
+//
+// on the `range` statement's line (or the line above) suppresses the
+// detorder diagnostic. The justification is mandatory.
+const DetorderSafe = "detorder-safe"
+
+// NewDetorder returns the detorder analyzer scoped to the given package
+// paths. It flags `range` statements over map-typed operands inside those
+// packages: map iteration order is randomized by the runtime, so any such
+// loop whose order can reach a simulation result, a trace, or an
+// accumulated float breaks the byte-identical determinism contract.
+//
+// Two shapes are recognized as safe without annotation:
+//
+//   - loops that bind no iteration variable (`for range m { n++ }`): every
+//     iteration is indistinguishable, so order cannot matter;
+//   - the sort-first idiom's collection step — a body consisting solely of
+//     `keys = append(keys, k)` — because the subsequent iteration order is
+//     governed by the sorted slice, not the map.
+//
+// Anything else needs the keys sorted before ranging or a justified
+// //lint:detorder-safe comment.
+func NewDetorder(scope []string) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "detorder",
+		Doc:  "flag range-over-map in deterministic packages unless sorted first or justified",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if !inScope(scope, pass.Pkg.Path()) {
+			return nil
+		}
+		directives := newDirectiveIndex(pass.Fset, pass.Files, DetorderSafe)
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				rs, ok := n.(*ast.RangeStmt)
+				if !ok {
+					return true
+				}
+				tv, ok := pass.TypesInfo.Types[rs.X]
+				if !ok || tv.Type == nil {
+					return true
+				}
+				if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+					return true
+				}
+				if bindsNoVariable(rs) || isKeyCollectLoop(pass, rs) {
+					return true
+				}
+				if present, justification := directives.at(rs.For); present {
+					if justification == "" {
+						pass.Reportf(rs.For, "bare //lint:%s directive: a justification explaining why map order is benign is required", DetorderSafe)
+					}
+					return true
+				}
+				pass.Reportf(rs.For, "range over map %s: iteration order is nondeterministic; sort the keys first or annotate //lint:%s <reason>", types.TypeString(tv.Type, types.RelativeTo(pass.Pkg)), DetorderSafe)
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// bindsNoVariable reports whether the range statement binds neither key nor
+// value (all blank or absent), making every iteration indistinguishable.
+func bindsNoVariable(rs *ast.RangeStmt) bool {
+	return isBlankOrNil(rs.Key) && isBlankOrNil(rs.Value)
+}
+
+func isBlankOrNil(e ast.Expr) bool {
+	if e == nil {
+		return true
+	}
+	id, ok := e.(*ast.Ident)
+	return ok && id.Name == "_"
+}
+
+// isKeyCollectLoop recognizes the collection half of the sort-first idiom:
+// a body that is exactly one `s = append(s, vars...)` statement whose
+// appended arguments are only the loop's own iteration variables.
+func isKeyCollectLoop(pass *analysis.Pass, rs *ast.RangeStmt) bool {
+	if len(rs.Body.List) != 1 {
+		return false
+	}
+	as, ok := rs.Body.List[0].(*ast.AssignStmt)
+	if !ok || as.Tok != token.ASSIGN || len(as.Lhs) != 1 || len(as.Rhs) != 1 {
+		return false
+	}
+	call, ok := as.Rhs[0].(*ast.CallExpr)
+	if !ok || len(call.Args) < 2 || call.Ellipsis != token.NoPos {
+		return false
+	}
+	fn, ok := call.Fun.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	if b, ok := pass.TypesInfo.Uses[fn].(*types.Builtin); !ok || b.Name() != "append" {
+		return false
+	}
+	// First append argument must be the assignment target itself.
+	if objOf(pass, as.Lhs[0]) == nil || objOf(pass, as.Lhs[0]) != objOf(pass, call.Args[0]) {
+		return false
+	}
+	keyObj, valObj := rangeVarObjs(pass, rs)
+	for _, arg := range call.Args[1:] {
+		o := objOf(pass, arg)
+		if o == nil || (o != keyObj && o != valObj) {
+			return false
+		}
+	}
+	return true
+}
+
+// rangeVarObjs resolves the objects bound by the range statement's key and
+// value expressions (nil when absent or blank).
+func rangeVarObjs(pass *analysis.Pass, rs *ast.RangeStmt) (key, val types.Object) {
+	return objOf(pass, rs.Key), objOf(pass, rs.Value)
+}
+
+// objOf resolves an identifier expression to its object, whether the
+// identifier defines (`:=`) or uses (`=`) it.
+func objOf(pass *analysis.Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || id.Name == "_" {
+		return nil
+	}
+	if o := pass.TypesInfo.Defs[id]; o != nil {
+		return o
+	}
+	return pass.TypesInfo.Uses[id]
+}

@@ -1,0 +1,71 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// directiveIndex records, per source line, the `//lint:<name>` escape-hatch
+// comments of one file. A directive suppresses a diagnostic on its own line
+// or on the line immediately below it (the comment-above-the-statement
+// convention), and must carry a non-empty justification after the directive
+// word — a bare annotation documents nothing and is itself reported.
+type directiveIndex struct {
+	fset *token.FileSet
+	// byLine maps line number -> justification text ("" = bare directive).
+	byLine map[string]map[int]string
+}
+
+// newDirectiveIndex scans the comments of files for `//lint:name ...`.
+func newDirectiveIndex(fset *token.FileSet, files []*ast.File, name string) *directiveIndex {
+	idx := &directiveIndex{fset: fset, byLine: make(map[string]map[int]string)}
+	prefix := "//lint:" + name
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				if !strings.HasPrefix(c.Text, prefix) {
+					continue
+				}
+				rest := c.Text[len(prefix):]
+				if rest != "" && rest[0] != ' ' && rest[0] != '\t' {
+					continue // e.g. //lint:detorder-safety — different word
+				}
+				pos := fset.Position(c.Pos())
+				m := idx.byLine[pos.Filename]
+				if m == nil {
+					m = make(map[int]string)
+					idx.byLine[pos.Filename] = m
+				}
+				m[pos.Line] = strings.TrimSpace(rest)
+			}
+		}
+	}
+	return idx
+}
+
+// at reports whether a directive covers pos, and its justification.
+func (idx *directiveIndex) at(pos token.Pos) (present bool, justification string) {
+	p := idx.fset.Position(pos)
+	m := idx.byLine[p.Filename]
+	if m == nil {
+		return false, ""
+	}
+	if j, ok := m[p.Line]; ok {
+		return true, j
+	}
+	if j, ok := m[p.Line-1]; ok {
+		return true, j
+	}
+	return false, ""
+}
+
+// inScope reports whether pkgPath is one of the configured package paths.
+func inScope(scope []string, pkgPath string) bool {
+	for _, s := range scope {
+		if pkgPath == s {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,64 @@
+package lint
+
+import (
+	"testing"
+
+	"wimc/internal/lint/analysis"
+	"wimc/internal/lint/analysistest"
+)
+
+// corpus is the import-path root of the testdata fixture packages.
+const corpus = "wimc/internal/lint/testdata/src"
+
+func TestDetorder(t *testing.T) {
+	analysistest.Run(t, NewDetorder([]string{corpus + "/detorder/a"}),
+		"./testdata/src/detorder/a")
+}
+
+// TestDetorderOutOfScope proves scoping: the same corpus under an analyzer
+// scoped to a different package must produce no diagnostics.
+func TestDetorderOutOfScope(t *testing.T) {
+	a := NewDetorder([]string{"wimc/internal/engine"})
+	findings, err := Run(".", []*analysis.Analyzer{a}, "./testdata/src/detorder/a")
+	if err != nil {
+		t.Fatalf("lint run failed: %v", err)
+	}
+	if len(findings) != 0 {
+		t.Fatalf("out-of-scope package produced findings: %v", findings)
+	}
+}
+
+func TestNoclock(t *testing.T) {
+	analysistest.Run(t, NewNoclock([]string{corpus + "/noclock/a"}),
+		"./testdata/src/noclock/a")
+}
+
+func TestDeadknob(t *testing.T) {
+	analysistest.Run(t, NewDeadknob(corpus+"/deadknob/cfgfix", "Config", "Validate"),
+		"./testdata/src/deadknob/cfgfix")
+}
+
+func TestShardwrite(t *testing.T) {
+	owners := []string{corpus + "/shardwrite/mailbox", corpus + "/shardwrite/owner"}
+	a := NewShardwrite(owners, corpus+"/shardwrite/mailbox", "Link",
+		[]string{"SetMailbox", "DeliverFlitHalf", "DrainFlitInbox"})
+	analysistest.Run(t, a,
+		"./testdata/src/shardwrite/mailbox",
+		"./testdata/src/shardwrite/owner",
+		"./testdata/src/shardwrite/outsider")
+}
+
+// TestSuiteCleanOnTree is the in-repo self-check mirroring the CI gate:
+// the production-wired suite must come up empty over the real tree.
+func TestSuiteCleanOnTree(t *testing.T) {
+	if testing.Short() {
+		t.Skip("tree-wide typecheck; CI runs `go run ./cmd/wimclint ./...` in the lint job instead")
+	}
+	findings, err := Run("../..", Suite(), "./...")
+	if err != nil {
+		t.Fatalf("lint run failed: %v", err)
+	}
+	for _, f := range findings {
+		t.Errorf("unexpected finding: %s", f)
+	}
+}

@@ -1,0 +1,143 @@
+// Package loader turns `go list` package patterns into fully type-checked
+// syntax trees using nothing beyond the standard library and the Go
+// toolchain already on PATH.
+//
+// The x/tools go/packages loader is not available in this build environment,
+// so the same trick go/packages uses is reimplemented directly: one
+// `go list -export -deps -json` invocation yields, for every dependency of
+// the requested patterns, the compiler export-data file the build cache
+// already holds; the stdlib gc importer (go/importer.ForCompiler with a
+// lookup function) then resolves imports from those files while the target
+// packages themselves are parsed and type-checked from source. This works
+// fully offline and costs one `go build`-equivalent of cache warming on the
+// first run.
+package loader
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+)
+
+// Package is one type-checked target package.
+type Package struct {
+	PkgPath   string
+	Dir       string
+	Files     []*ast.File
+	Types     *types.Package
+	TypesInfo *types.Info
+}
+
+// listEntry is the subset of `go list -json` output the loader consumes.
+type listEntry struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	Incomplete bool
+	Error      *struct{ Err string }
+}
+
+// Load lists patterns relative to dir, type-checks every matched package and
+// returns them in deterministic (import-path) order. All packages share fset.
+func Load(fset *token.FileSet, dir string, patterns ...string) ([]*Package, error) {
+	targets, err := goList(dir, append([]string{"-json=ImportPath,Dir,GoFiles,Incomplete,Error"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	deps, err := goList(dir, append([]string{"-export", "-deps", "-json=ImportPath,Export,Incomplete,Error"}, patterns...))
+	if err != nil {
+		return nil, err
+	}
+	exports := make(map[string]string, len(deps))
+	for _, d := range deps {
+		if d.Error != nil {
+			return nil, fmt.Errorf("loader: %s: %s", d.ImportPath, d.Error.Err)
+		}
+		if d.Export != "" {
+			exports[d.ImportPath] = d.Export
+		}
+	}
+	imp := importer.ForCompiler(fset, "gc", func(path string) (io.ReadCloser, error) {
+		f, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("loader: no export data for %q", path)
+		}
+		return os.Open(f)
+	})
+
+	var pkgs []*Package
+	for _, t := range targets {
+		if t.Error != nil {
+			return nil, fmt.Errorf("loader: %s: %s", t.ImportPath, t.Error.Err)
+		}
+		if len(t.GoFiles) == 0 {
+			continue
+		}
+		files := make([]*ast.File, 0, len(t.GoFiles))
+		for _, gf := range t.GoFiles {
+			f, err := parser.ParseFile(fset, filepath.Join(t.Dir, gf), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("loader: parse %s: %w", gf, err)
+			}
+			files = append(files, f)
+		}
+		info := &types.Info{
+			Types:      make(map[ast.Expr]types.TypeAndValue),
+			Defs:       make(map[*ast.Ident]types.Object),
+			Uses:       make(map[*ast.Ident]types.Object),
+			Selections: make(map[*ast.SelectorExpr]*types.Selection),
+			Implicits:  make(map[ast.Node]types.Object),
+			Scopes:     make(map[ast.Node]*types.Scope),
+		}
+		conf := types.Config{Importer: imp}
+		tpkg, err := conf.Check(t.ImportPath, fset, files, info)
+		if err != nil {
+			return nil, fmt.Errorf("loader: typecheck %s: %w", t.ImportPath, err)
+		}
+		pkgs = append(pkgs, &Package{
+			PkgPath:   t.ImportPath,
+			Dir:       t.Dir,
+			Files:     files,
+			Types:     tpkg,
+			TypesInfo: info,
+		})
+	}
+	sort.Slice(pkgs, func(i, j int) bool { return pkgs[i].PkgPath < pkgs[j].PkgPath })
+	return pkgs, nil
+}
+
+// goList runs `go list` with args in dir and decodes the JSON stream.
+func goList(dir string, args []string) ([]listEntry, error) {
+	cmd := exec.Command("go", append([]string{"list"}, args...)...)
+	cmd.Dir = dir
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, fmt.Errorf("loader: go list %v: %v\n%s", args, err, stderr.String())
+	}
+	var entries []listEntry
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for {
+		var e listEntry
+		if err := dec.Decode(&e); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("loader: decode go list output: %w", err)
+		}
+		entries = append(entries, e)
+	}
+	return entries, nil
+}

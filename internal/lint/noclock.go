@@ -1,0 +1,89 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"wimc/internal/lint/analysis"
+)
+
+// noclockBanned lists, per package, the functions whose results depend on
+// ambient process state — wall clocks, process-global randomness,
+// environment variables. A deterministic package calling any of these can
+// produce results that differ between runs of the same (config, seed), so
+// there is deliberately no escape hatch: thread a seeded *rand.Rand or an
+// explicit parameter instead.
+var noclockBanned = map[string]map[string]string{
+	"time": {
+		"Now":       "wall-clock read",
+		"Since":     "wall-clock read (calls time.Now)",
+		"Until":     "wall-clock read (calls time.Now)",
+		"Sleep":     "wall-clock dependent scheduling",
+		"After":     "wall-clock dependent channel",
+		"Tick":      "wall-clock dependent channel",
+		"NewTicker": "wall-clock dependent timer",
+		"NewTimer":  "wall-clock dependent timer",
+		"AfterFunc": "wall-clock dependent timer",
+	},
+	"os": {
+		"Getenv":    "ambient environment read",
+		"LookupEnv": "ambient environment read",
+		"Environ":   "ambient environment read",
+	},
+	// math/rand and math/rand/v2 top-level functions draw from the
+	// process-global generator; only the seeded-instance constructors
+	// (New, NewSource, NewPCG, ...) are allowed, handled below.
+	"math/rand":    nil,
+	"math/rand/v2": nil,
+}
+
+// NewNoclock returns the noclock analyzer scoped to the given package
+// paths. It forbids wall-clock reads, ambient environment reads and the
+// process-global math/rand generator inside those packages. Seeded
+// *rand.Rand instances are fine: the constructors (rand.New,
+// rand.NewSource, and every other rand.New*) are exempt, and methods on a
+// *rand.Rand value are never package-level functions so they do not match.
+func NewNoclock(scope []string) *analysis.Analyzer {
+	a := &analysis.Analyzer{
+		Name: "noclock",
+		Doc:  "forbid time.Now/math.rand globals/os.Getenv in deterministic packages",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if !inScope(scope, pass.Pkg.Path()) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+				if !ok || fn.Pkg() == nil {
+					return true
+				}
+				// Package-level functions only: methods carry a receiver.
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true
+				}
+				pkgPath := fn.Pkg().Path()
+				banned, watched := noclockBanned[pkgPath]
+				if !watched {
+					return true
+				}
+				switch {
+				case banned != nil:
+					if why, bad := banned[fn.Name()]; bad {
+						pass.Reportf(id.Pos(), "%s.%s (%s) in deterministic package %s: results must not depend on ambient state", pkgPath, fn.Name(), why, pass.Pkg.Path())
+					}
+				case !strings.HasPrefix(fn.Name(), "New"):
+					pass.Reportf(id.Pos(), "%s.%s draws from the process-global generator in deterministic package %s: use the seeded *rand.Rand threaded through the engine", pkgPath, fn.Name(), pass.Pkg.Path())
+				}
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}

@@ -1,0 +1,66 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+
+	"wimc/internal/lint/analysis"
+)
+
+// NewShardwrite returns the shardwrite analyzer: the named mutation methods
+// of typeName (declared in typePkg) may only be referenced from the owner
+// packages. The PR 7 sharded engine keeps boundary-link mailboxes race-free
+// without locks by a single-writer discipline — each mailbox half is written
+// by exactly one shard goroutine, driven from the engine's shard loop — so a
+// call from anywhere else would introduce a second writer the parity
+// ping-pong cannot order. Any reference (not just a call) is flagged:
+// storing the method value hands the write capability out just the same.
+func NewShardwrite(owners []string, typePkg, typeName string, methods []string) *analysis.Analyzer {
+	banned := make(map[string]bool, len(methods))
+	for _, m := range methods {
+		banned[m] = true
+	}
+	a := &analysis.Analyzer{
+		Name: "shardwrite",
+		Doc:  "restrict mailbox/boundary-link mutation methods to their owning packages",
+	}
+	a.Run = func(pass *analysis.Pass) error {
+		if inScope(owners, pass.Pkg.Path()) {
+			return nil
+		}
+		for _, f := range pass.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				id, ok := n.(*ast.Ident)
+				if !ok {
+					return true
+				}
+				fn, ok := pass.TypesInfo.Uses[id].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != typePkg || !banned[fn.Name()] {
+					return true
+				}
+				sig, ok := fn.Type().(*types.Signature)
+				if !ok || sig.Recv() == nil {
+					return true
+				}
+				if receiverTypeName(sig.Recv().Type()) != typeName {
+					return true
+				}
+				pass.Reportf(id.Pos(), "%s.%s.%s mutates single-writer mailbox state owned by the shard driver; it may only be used from %v", typePkg, typeName, fn.Name(), owners)
+				return true
+			})
+		}
+		return nil
+	}
+	return a
+}
+
+// receiverTypeName unwraps a method receiver type to its named type's name.
+func receiverTypeName(t types.Type) string {
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}

@@ -1,0 +1,33 @@
+// Package cfgfix is the deadknob corpus: a config struct whose validator
+// reads some knobs directly, one through a helper, misses one, and exempts
+// two (one with and one without the mandatory justification).
+package cfgfix
+
+import "errors"
+
+// Config mirrors the shape wimclint checks in wimc/internal/config.
+type Config struct {
+	Good     int
+	Indirect int
+	DeadKnob int // want `Config\.DeadKnob is never read by Validate`
+	//lint:deadknob-exempt free-form label with no invalid values
+	Exempted string
+	//lint:deadknob-exempt
+	BareExempt int // want `bare //lint:deadknob-exempt`
+	hidden     int // unexported: outside the knob surface
+}
+
+// Validate checks the configuration.
+func (c Config) Validate() error {
+	if c.Good < 0 {
+		return errors.New("good must be >= 0")
+	}
+	return c.checkIndirect()
+}
+
+func (c Config) checkIndirect() error {
+	if c.Indirect < 0 || c.hidden < 0 {
+		return errors.New("indirect must be >= 0")
+	}
+	return nil
+}

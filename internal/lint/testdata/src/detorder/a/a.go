@@ -1,0 +1,85 @@
+// Package a is the detorder corpus: range-over-map shapes, good and bad.
+package a
+
+import "sort"
+
+func use(args ...int) {}
+
+func badDirect(m map[int]int) {
+	for k, v := range m { // want `range over map`
+		use(k, v)
+	}
+	for k := range m { // want `range over map`
+		use(k)
+	}
+}
+
+func goodNoVars(m map[int]int) int {
+	n := 0
+	for range m { // iteration count only: order cannot matter
+		n++
+	}
+	return n
+}
+
+func goodSortFirst(m map[int]int) {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	for _, k := range keys {
+		use(k, m[k])
+	}
+}
+
+func goodValueCollect(m map[int]int) []int {
+	var vals []int
+	for _, v := range m {
+		vals = append(vals, v)
+	}
+	sort.Ints(vals)
+	return vals
+}
+
+func goodJustified(m map[int]int) {
+	n := 0
+	//lint:detorder-safe integer sum over values is commutative
+	for _, v := range m {
+		n += v
+	}
+	use(n)
+}
+
+func badBareDirective(m map[int]int) {
+	n := 0
+	//lint:detorder-safe
+	for _, v := range m { // want `bare //lint:detorder-safe`
+		n += v
+	}
+	use(n)
+}
+
+func goodSlice(s []int) {
+	for i, v := range s {
+		use(i, v)
+	}
+}
+
+func badCollectTransformed(m map[int]int) {
+	var keys []int
+	for k := range m { // want `range over map`
+		keys = append(keys, k+1)
+	}
+	use(keys...)
+}
+
+type set = map[string]struct{}
+
+func badAliasedMap(s set) int {
+	n := 0
+	for k := range s { // want `range over map`
+		n += len(k)
+	}
+	return n
+}

@@ -1,0 +1,39 @@
+// Package a is the noclock corpus: ambient-state reads, good and bad.
+package a
+
+import (
+	mrand "math/rand"
+	"os"
+	"time"
+)
+
+func badClock() int64 {
+	t := time.Now()   // want `time\.Now`
+	_ = time.Since(t) // want `time\.Since`
+	return t.UnixNano()
+}
+
+func badEnv() string {
+	return os.Getenv("HOME") // want `os\.Getenv`
+}
+
+func badGlobalRand() int {
+	return mrand.Intn(6) // want `math/rand\.Intn`
+}
+
+func badGlobalShuffle(s []int) {
+	mrand.Shuffle(len(s), func(i, j int) { s[i], s[j] = s[j], s[i] }) // want `math/rand\.Shuffle`
+}
+
+func goodSeededRand() int {
+	r := mrand.New(mrand.NewSource(1))
+	return r.Intn(6) // method on a seeded instance, not the global generator
+}
+
+func goodDuration(d time.Duration) time.Duration {
+	return d * 2
+}
+
+func goodOSOther(err error) bool {
+	return os.IsNotExist(err)
+}

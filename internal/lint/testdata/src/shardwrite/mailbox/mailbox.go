@@ -1,0 +1,26 @@
+// Package mailbox is the shardwrite corpus's declaring package: a Link
+// with single-writer mutation halves and read-only accessors.
+package mailbox
+
+// Link mimics noc.Link's mailbox surface.
+type Link struct {
+	flits   []int
+	mailbox bool
+}
+
+// SetMailbox switches the link into mailbox mode.
+func (l *Link) SetMailbox() { l.mailbox = true }
+
+// DeliverFlitHalf parks one flit.
+func (l *Link) DeliverFlitHalf(n int) { l.flits = append(l.flits, n) }
+
+// DrainFlitInbox drains the parked flits.
+func (l *Link) DrainFlitInbox() { l.flits = l.flits[:0] }
+
+// MailboxFlits counts parked flits (read-only).
+func (l *Link) MailboxFlits() int { return len(l.flits) }
+
+// ownUse exercises the mutators from the declaring package itself.
+func ownUse(l *Link) { l.SetMailbox() }
+
+var _ = ownUse

@@ -1,0 +1,20 @@
+// Package outsider is the shardwrite corpus's trespasser: a package
+// outside the owner set touching the mutation surface.
+package outsider
+
+import "wimc/internal/lint/testdata/src/shardwrite/mailbox"
+
+// Decoy carries a same-named method on an unrelated type.
+type Decoy struct{}
+
+// SetMailbox is not the mailbox surface.
+func (Decoy) SetMailbox() {}
+
+// Meddle calls, and captures, mutation methods it must not.
+func Meddle(l *mailbox.Link) {
+	l.SetMailbox()         // want `SetMailbox`
+	f := l.DeliverFlitHalf // want `DeliverFlitHalf`
+	f(1)
+	_ = l.MailboxFlits() // read-only accessor: allowed
+	Decoy{}.SetMailbox() // same name, different type: allowed
+}

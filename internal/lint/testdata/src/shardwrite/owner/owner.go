@@ -1,0 +1,12 @@
+// Package owner is the shardwrite corpus's shard driver: an owner package
+// allowed to invoke the mailbox mutation surface.
+package owner
+
+import "wimc/internal/lint/testdata/src/shardwrite/mailbox"
+
+// Drive ticks the mailbox halves the way the engine's shard loop does.
+func Drive(l *mailbox.Link) {
+	l.SetMailbox()
+	l.DeliverFlitHalf(1)
+	l.DrainFlitInbox()
+}

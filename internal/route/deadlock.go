@@ -2,6 +2,7 @@ package route
 
 import (
 	"fmt"
+	"sort"
 
 	"wimc/internal/sim"
 	"wimc/internal/topo"
@@ -144,7 +145,16 @@ func CheckDeadlockFreeUnion(g *topo.Graph, tables ...*Tables) error {
 		c    int
 		next int
 	}
-	for start := range used {
+	// Sorted start order: with a cycle present, which cycle the DFS trips
+	// over first — and therefore the error text — depends on traversal
+	// order, so ranging the map directly would make failure messages flap
+	// between runs (found by wimclint's detorder).
+	starts := make([]int, 0, len(used))
+	for c := range used {
+		starts = append(starts, c)
+	}
+	sort.Ints(starts)
+	for _, start := range starts {
 		if color[start] != white {
 			continue
 		}
