@@ -11,6 +11,13 @@
 //	          [-scale-sizes 4,16,64] [-channel-ks 1,2,4,8]
 //	          [-channel-assign spatial-reuse|static-partition] [-mac-policies rotate,skip-empty,...]
 //	          [-check BASELINE.json] [-check-out OUT.json] [-check-threshold 15]
+//	          [-spec FILE.json] [-store DIR]
+//
+// -spec runs a canonical experiment spec (see internal/spec and
+// examples/specs) instead of a named figure; -store serves and fills a
+// content-addressed result cache shared with the wimcd service, so
+// re-running a spec (or figure) whose results exist costs zero engine
+// runs.
 package main
 
 import (
@@ -24,7 +31,39 @@ import (
 
 	"wimc/internal/config"
 	"wimc/internal/figures"
+	"wimc/internal/spec"
+	"wimc/internal/store"
 )
+
+// runSpec is the -spec path: parse, run (through the cache when -store is
+// set), print the generic table.
+func runSpec(file string, opts figures.Opts, csvDir string) int {
+	data, err := os.ReadFile(file)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wimcbench: -spec: %v\n", err)
+		return 2
+	}
+	sp, err := spec.Parse(data)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wimcbench: -spec: %v\n", err)
+		return 2
+	}
+	start := time.Now()
+	t, err := figures.FromSpec(sp, opts)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "wimcbench: spec: %v\n", err)
+		return 1
+	}
+	fmt.Println(t.Text())
+	fmt.Fprintf(os.Stderr, "wimcbench: spec     %8.3fs\n", time.Since(start).Seconds())
+	if csvDir != "" {
+		if err := writeCSV(csvDir, t); err != nil {
+			fmt.Fprintf(os.Stderr, "wimcbench: spec: %v\n", err)
+			return 1
+		}
+	}
+	return 0
+}
 
 func main() {
 	var (
@@ -42,6 +81,8 @@ func main() {
 		checkOut       = flag.String("check-out", "bench_check.json", "where -check writes its measurement JSON")
 		checkThreshold = flag.Float64("check-threshold", 15, "allowed cycles/s regression in percent for -check")
 		shards         = flag.Int("shards", 0, "worker shards per simulation tick (0 = serial engine; results are byte-identical at any shard count)")
+		specFile       = flag.String("spec", "", "run a canonical experiment spec file instead of a named figure")
+		storeDir       = flag.String("store", "", "content-addressed result cache directory (cached points are served, fresh ones stored)")
 	)
 	flag.Parse()
 
@@ -85,6 +126,17 @@ func main() {
 	}
 	if !*parallel {
 		opts.Workers = 1
+	}
+	if *storeDir != "" {
+		st, err := store.Open(*storeDir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wimcbench: -store: %v\n", err)
+			os.Exit(2)
+		}
+		opts.Store = st
+	}
+	if *specFile != "" {
+		os.Exit(runSpec(*specFile, opts, *csv))
 	}
 	total := time.Duration(0)
 	for _, id := range ids {

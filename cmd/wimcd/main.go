@@ -1,0 +1,54 @@
+// Command wimcd is the wimc experiment service: a long-running HTTP/JSON
+// daemon that accepts canonical experiment specs (internal/spec), runs
+// their points on the deterministic engine pool, streams per-point
+// progress as NDJSON, and caches every Result in a content-addressed
+// on-disk store — so resubmitting a spec whose results exist costs zero
+// engine runs, and editing one axis point recomputes only that point.
+//
+// Usage:
+//
+//	wimcd -addr :8585 -store .wimcd
+//
+// See internal/daemon for the API surface and wimcctl for the client.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+
+	"wimc/internal/daemon"
+	"wimc/internal/engine"
+	"wimc/internal/store"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("wimcd: ")
+	addr := flag.String("addr", "127.0.0.1:8585", "listen address")
+	storeDir := flag.String("store", ".wimcd", "content-addressed result store directory")
+	workers := flag.Int("workers", 0, "default worker pool size per experiment (0 = one per core; a spec's workers field overrides)")
+	flag.Usage = func() {
+		fmt.Fprintf(os.Stderr, "usage: wimcd [flags]\n\nThe wimc experiment service (engine %s).\n\n", engine.Version)
+		flag.PrintDefaults()
+	}
+	flag.Parse()
+	if flag.NArg() != 0 {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	st, err := store.Open(*storeDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	n, err := st.Len()
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("engine %s, store %s (%d cached results), listening on %s",
+		engine.Version, st.Dir(), n, *addr)
+	log.Fatal(http.ListenAndServe(*addr, daemon.NewServer(st, *workers)))
+}

@@ -1,0 +1,150 @@
+package daemon
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+
+	"wimc/internal/engine"
+)
+
+// Client talks to a wimcd server. The zero HTTP client is usable; Base is
+// the server root (e.g. "http://127.0.0.1:8585").
+type Client struct {
+	Base string
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return http.DefaultClient
+}
+
+func (c *Client) url(path string) string {
+	return strings.TrimSuffix(c.Base, "/") + path
+}
+
+// decodeError turns a non-2xx API response into an error.
+func decodeError(resp *http.Response) error {
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	var e struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(body, &e) == nil && e.Error != "" {
+		return fmt.Errorf("wimcd: %s (%s)", e.Error, resp.Status)
+	}
+	return fmt.Errorf("wimcd: %s: %s", resp.Status, strings.TrimSpace(string(body)))
+}
+
+func (c *Client) getJSON(path string, out any) error {
+	resp, err := c.http().Get(c.url(path))
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return decodeError(resp)
+	}
+	defer resp.Body.Close()
+	return json.NewDecoder(resp.Body).Decode(out)
+}
+
+// Submit posts a spec document and returns the accepted job.
+func (c *Client) Submit(specJSON []byte) (JobSummary, error) {
+	resp, err := c.http().Post(c.url("/v1/experiments"), "application/json", bytes.NewReader(specJSON))
+	if err != nil {
+		return JobSummary{}, err
+	}
+	if resp.StatusCode != http.StatusAccepted {
+		return JobSummary{}, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	var sum JobSummary
+	err = json.NewDecoder(resp.Body).Decode(&sum)
+	return sum, err
+}
+
+// Job fetches one job summary.
+func (c *Client) Job(id string) (JobSummary, error) {
+	var sum JobSummary
+	err := c.getJSON("/v1/experiments/"+id, &sum)
+	return sum, err
+}
+
+// Jobs lists all jobs in submission order.
+func (c *Client) Jobs() ([]JobSummary, error) {
+	var out []JobSummary
+	err := c.getJSON("/v1/experiments", &out)
+	return out, err
+}
+
+// Stream tails a job's NDJSON event stream, invoking fn per event until
+// the stream ends (job terminal) or fn returns an error.
+func (c *Client) Stream(id string, fn func(Event) error) error {
+	resp, err := c.http().Get(c.url("/v1/experiments/" + id + "/stream"))
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return decodeError(resp)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 4<<20)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var e Event
+		if err := json.Unmarshal(line, &e); err != nil {
+			return fmt.Errorf("wimcd: bad stream line: %w", err)
+		}
+		if err := fn(e); err != nil {
+			return err
+		}
+	}
+	return sc.Err()
+}
+
+// Results blocks until the job is terminal and returns its full results.
+func (c *Client) Results(id string) (ResultsResponse, error) {
+	var out ResultsResponse
+	err := c.getJSON("/v1/experiments/"+id+"/results", &out)
+	return out, err
+}
+
+// Result fetches one cached Result by content address; ok reports whether
+// the store holds it.
+func (c *Client) Result(key string) (*engine.Result, bool, error) {
+	resp, err := c.http().Get(c.url("/v1/results/" + key))
+	if err != nil {
+		return nil, false, err
+	}
+	if resp.StatusCode == http.StatusNotFound {
+		resp.Body.Close()
+		return nil, false, nil
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, false, decodeError(resp)
+	}
+	defer resp.Body.Close()
+	var r engine.Result
+	if err := json.NewDecoder(resp.Body).Decode(&r); err != nil {
+		return nil, false, err
+	}
+	return &r, true, nil
+}
+
+// Version fetches the server's engine version and store location.
+func (c *Client) Version() (VersionInfo, error) {
+	var v VersionInfo
+	err := c.getJSON("/v1/version", &v)
+	return v, err
+}

@@ -25,6 +25,17 @@ func Run(workers int, params []engine.Params) ([]*engine.Result, error) {
 // every queued entry to completion. The reported error is still the
 // lowest-index failure — the one a sequential loop would have hit first.
 func RunIndexed(workers int, params []engine.Params) ([]*engine.Result, int, error) {
+	return RunIndexedObserved(workers, params, nil)
+}
+
+// RunIndexedObserved is RunIndexed with a completion hook: observe(i, r)
+// fires as each run finishes, from whichever worker goroutine ran it —
+// concurrently and in no particular order, so the callback must be
+// thread-safe. It exists for progress streaming (wimcd reports each sweep
+// point the moment it lands); the returned slice is still complete and in
+// input order, and observe never fires for a failed run. A nil observe is
+// exactly RunIndexed.
+func RunIndexedObserved(workers int, params []engine.Params, observe func(i int, r *engine.Result)) ([]*engine.Result, int, error) {
 	if len(params) == 0 {
 		return []*engine.Result{}, -1, nil
 	}
@@ -55,6 +66,9 @@ func RunIndexed(workers int, params []engine.Params) ([]*engine.Result, int, err
 		}
 		r, err := engine.Run(p)
 		results[i] = r
+		if err == nil && observe != nil {
+			observe(i, r)
+		}
 		return err
 	})
 	if err != nil {

@@ -9,6 +9,7 @@ import (
 	"wimc/internal/config"
 	"wimc/internal/engine"
 	"wimc/internal/exp"
+	"wimc/internal/store"
 )
 
 // Table is one regenerated figure/table.
@@ -99,6 +100,13 @@ type Opts struct {
 	// are byte-identical at every shard count, so this composes freely
 	// with Workers (run-level parallelism).
 	Shards int
+	// Store, when set, funnels every run through the content-addressed
+	// result cache: points whose Results exist are served from disk and
+	// fresh Results are stored as they complete, so regenerating a figure
+	// after an interrupted or earlier run recomputes only what is missing.
+	// Cached and uncached tables are byte-identical (the cache stores the
+	// exact Result and its key covers every Result-determining input).
+	Store *store.Store
 }
 
 func (o Opts) apply(cfg *config.Config) {
@@ -139,7 +147,13 @@ func xcym(chips int, arch config.Architecture, o Opts) config.Config {
 
 // runBatch executes independent runs through the parallel experiment
 // runner, preserving input order (every generator funnels through here).
+// With Opts.Store set the batch goes through the result cache instead;
+// either way the output is byte-identical.
 func runBatch(o Opts, ps []engine.Params) ([]*engine.Result, error) {
+	if o.Store != nil {
+		rs, _, err := store.RunParams(o.Store, o.Workers, ps, nil)
+		return rs, err
+	}
 	return exp.Run(o.Workers, ps)
 }
 

@@ -7,7 +7,10 @@ import "wimc/internal/lint/analysis"
 // pair and a Result, trace, or figure table. detorder and noclock fire only
 // here. internal/figures is included beyond the ISSUE's core ten because
 // figure tables are diffed byte-for-byte in CI smokes — a map-ordered row
-// would flap exactly like a map-ordered result.
+// would flap exactly like a map-ordered result. internal/spec and
+// internal/store join for the same reason: spec expansion produces the
+// content-address keys and the store replays cached Results, so ordering
+// or clock leakage in either would silently re-key or reorder experiments.
 var DeterministicPackages = []string{
 	"wimc/internal/engine",
 	"wimc/internal/core",
@@ -20,6 +23,8 @@ var DeterministicPackages = []string{
 	"wimc/internal/memstack",
 	"wimc/internal/energy",
 	"wimc/internal/figures",
+	"wimc/internal/spec",
+	"wimc/internal/store",
 }
 
 // MailboxOwners are the packages allowed to touch the boundary-link mailbox

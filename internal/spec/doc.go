@@ -1,0 +1,29 @@
+// Package spec defines the canonical experiment description shared by
+// every way of running wimc experiments: wimc.Sweep, the figure
+// generators, wimcbench -spec, and the wimcd experiment service.
+//
+// A Spec is a base (config, traffic) pair plus an axis grid. Expansion is
+// deterministic: the cartesian product of the axes, first axis outermost,
+// each axis point a JSON merge patch over {"config":..., "traffic":...},
+// each resulting point validated by config.Validate. Unknown patch fields
+// are rejected (never a silently dead knob).
+//
+// # Content addressing
+//
+// Every expanded point carries a Key: a SHA-256 over the canonical
+// encoding of (engine version, config, traffic) — exactly the inputs that
+// determine a Result byte-for-byte, nothing else. Keys are
+// field-order-insensitive (identity is serialized from Go structs, not
+// from the user's JSON) and engine-version-sensitive (engine.Version is
+// folded in, so a behavior-changing engine build invalidates every cached
+// Result at once). Execution knobs — Workers, labels, Name — never enter
+// a key. Spec.Hash derives the whole experiment's identity from the
+// ordered point keys.
+//
+// internal/store persists Results under these keys; wimcd serves and
+// reuses them across runs.
+//
+// Package spec is under the determinism lint contract (detorder/noclock;
+// see internal/lint): expansion of the same spec must yield the same
+// bytes on every machine, forever.
+package spec

@@ -6,19 +6,25 @@ import (
 	"wimc/internal/config"
 	"wimc/internal/engine"
 	"wimc/internal/exp"
+	"wimc/internal/spec"
 )
 
-// sweepWorkers bounds the worker pool used by LoadSweep,
-// CompareAtSaturation and RunSeeds. 0 = GOMAXPROCS.
+// sweepWorkers is the process-wide default worker bound that Spec.Workers
+// falls back to when zero. 0 = GOMAXPROCS.
 var sweepWorkers = 0
 
-// SetParallelism bounds the goroutines the package-level sweep helpers
-// (LoadSweep, CompareAtSaturation, RunSeeds) spawn: n = 1 forces
-// sequential execution (for embedders that already parallelize at a
-// higher level), n <= 0 restores the default of one worker per core.
-// Results are byte-identical regardless of the setting (internal/exp's
-// determinism contract). Not safe to call concurrently with running
-// sweeps.
+// SetParallelism sets the process-wide default worker bound used when a
+// Spec (or a legacy sweep helper, which builds one) does not carry its
+// own Workers value: n = 1 forces sequential execution, n <= 0 restores
+// one worker per core. Results are byte-identical regardless of the
+// setting (internal/exp's determinism contract).
+//
+// Deprecated: SetParallelism mutates process-global state and is not safe
+// to call concurrently with running sweeps — two callers wanting
+// different parallelism race. Set Spec.Workers on each experiment spec
+// instead; it is carried per request (the wimcd daemon relies on this to
+// run concurrent jobs with independent parallelism). SetParallelism now
+// only supplies the default for specs with Workers == 0.
 func SetParallelism(n int) {
 	if n < 0 {
 		n = 0
@@ -37,23 +43,27 @@ type LoadPoint struct {
 // injection load). The loads run concurrently across the machine's cores;
 // results are deterministic and ordered regardless of parallelism (see
 // internal/exp for the contract).
+//
+// Deprecated: LoadSweep is a thin wrapper over Sweep with a single "load"
+// axis (byte-identical to its pre-spec implementation; the equivalence
+// test pins it). New code should build a Spec — it composes with other
+// axes, serializes, and caches under wimcd.
 func LoadSweep(cfg Config, traffic TrafficSpec, loads []float64) ([]LoadPoint, error) {
 	if len(loads) == 0 {
 		return nil, fmt.Errorf("wimc: load sweep needs at least one load")
 	}
-	ps := make([]engine.Params, len(loads))
-	for i, l := range loads {
-		t := traffic
-		t.Rate = l
-		ps[i] = engine.Params{Cfg: cfg, Traffic: t}
+	axis := Axis{Name: "load"}
+	for _, l := range loads {
+		axis.Points = append(axis.Points,
+			spec.TrafficPoint(fmt.Sprintf("load=%v", l), map[string]any{"rate": l}))
 	}
-	rs, idx, err := exp.RunIndexed(sweepWorkers, ps)
+	sp, err := Sweep(&Spec{Name: "loadsweep", Config: cfg, Traffic: traffic, Axes: []Axis{axis}})
 	if err != nil {
-		return nil, fmt.Errorf("wimc: load %v: %w", loads[idx], err)
+		return nil, err
 	}
-	out := make([]LoadPoint, 0, len(loads))
+	out := make([]LoadPoint, len(loads))
 	for i, l := range loads {
-		out = append(out, LoadPoint{Load: l, Result: rs[i]})
+		out[i] = LoadPoint{Load: l, Result: sp[i].Result}
 	}
 	return out, nil
 }
@@ -132,14 +142,19 @@ type ScalePoint struct {
 // Each chip count becomes an XCYM preset with DefaultStacks(chips) memory
 // stacks; modify returns from XCYM directly for other geometries. All runs
 // fan out across the machine's cores with deterministic, ordered results.
+//
+// Deprecated: ScaleSweep is a thin wrapper over Sweep with one "system"
+// axis enumerating the (chips, arch) grid as full-configuration patches
+// (byte-identical to its pre-spec implementation; the equivalence test
+// pins it). New code should build a Spec.
 func ScaleSweep(sizes []int, archs []Architecture, traffic TrafficSpec) ([]ScalePoint, error) {
 	if len(sizes) == 0 || len(archs) == 0 {
 		return nil, fmt.Errorf("wimc: scale sweep needs at least one size and one architecture")
 	}
 	t := traffic
 	t.Rate = 1.0
+	axis := Axis{Name: "system"}
 	var pts []ScalePoint
-	var ps []engine.Params
 	for _, chips := range sizes {
 		for _, arch := range archs {
 			cfg, err := XCYM(chips, DefaultStacks(chips), arch)
@@ -147,15 +162,15 @@ func ScaleSweep(sizes []int, archs []Architecture, traffic TrafficSpec) ([]Scale
 				return nil, fmt.Errorf("wimc: scale sweep: %w", err)
 			}
 			pts = append(pts, ScalePoint{Chips: chips, Stacks: cfg.MemStacks, Arch: arch})
-			ps = append(ps, engine.Params{Cfg: cfg, Traffic: t})
+			axis.Points = append(axis.Points, spec.ConfigPoint(cfg.Name, cfg))
 		}
 	}
-	rs, idx, err := exp.RunIndexed(sweepWorkers, ps)
+	sp, err := Sweep(&Spec{Name: "scalesweep", Config: Default(), Traffic: t, Axes: []Axis{axis}})
 	if err != nil {
-		return nil, fmt.Errorf("wimc: %s: %w", ps[idx].Cfg.Name, err)
+		return nil, err
 	}
 	for i := range pts {
-		pts[i].Result = rs[i]
+		pts[i].Result = sp[i].Result
 	}
 	return pts, nil
 }
@@ -193,40 +208,50 @@ type ChannelPoint struct {
 // its source WI, and at large sizes one turn rotation exceeds any
 // practical measurement window — delivered bandwidth would read ~zero for
 // every K alike.
+//
+// Deprecated: ChannelSweep is a thin wrapper over Sweep with a "system" ×
+// "K" axis grid (byte-identical to its pre-spec implementation; the
+// equivalence test pins it). New code should build a Spec.
 func ChannelSweep(sizes, channelCounts []int, assign ChannelAssignment, traffic TrafficSpec) ([]ChannelPoint, error) {
 	if len(sizes) == 0 || len(channelCounts) == 0 {
 		return nil, fmt.Errorf("wimc: channel sweep needs at least one size and one channel count")
 	}
 	t := traffic
 	t.Rate = 1.0
+	sysAxis := Axis{Name: "system"}
+	for _, chips := range sizes {
+		cfg, err := XCYM(chips, DefaultStacks(chips), ArchWireless)
+		if err != nil {
+			return nil, fmt.Errorf("wimc: channel sweep: %w", err)
+		}
+		cfg.Channel = ChannelExclusive
+		cfg.ChannelAssign = assign
+		var trafficPatch any
+		if t.PacketFlits == 0 {
+			// One rx reservation per packet (see doc comment above).
+			trafficPatch = map[string]any{"packet_flits": cfg.BufferDepth}
+		}
+		sysAxis.Points = append(sysAxis.Points, spec.PatchPoint(cfg.Name, cfg, trafficPatch))
+	}
+	kAxis := Axis{Name: "K"}
+	for _, k := range channelCounts {
+		kAxis.Points = append(kAxis.Points,
+			spec.ConfigPoint(fmt.Sprintf("K=%d", k), map[string]any{"wireless_channels": k}))
+	}
+	sp, err := Sweep(&Spec{Name: "channelsweep", Config: Default(), Traffic: t, Axes: []Axis{sysAxis, kAxis}})
+	if err != nil {
+		return nil, err
+	}
 	var pts []ChannelPoint
-	var ps []engine.Params
+	i := 0
 	for _, chips := range sizes {
 		for _, k := range channelCounts {
-			cfg, err := XCYM(chips, DefaultStacks(chips), ArchWireless)
-			if err != nil {
-				return nil, fmt.Errorf("wimc: channel sweep: %w", err)
-			}
-			cfg.Channel = ChannelExclusive
-			cfg.ChannelAssign = assign
-			cfg.WirelessChannels = k
-			if err := cfg.Validate(); err != nil {
-				return nil, fmt.Errorf("wimc: channel sweep (%d chips, K=%d): %w", chips, k, err)
-			}
-			tk := t
-			if tk.PacketFlits == 0 {
-				tk.PacketFlits = cfg.BufferDepth // one rx reservation per packet
-			}
-			pts = append(pts, ChannelPoint{Chips: chips, Stacks: cfg.MemStacks, Channels: k, Assign: assign})
-			ps = append(ps, engine.Params{Cfg: cfg, Traffic: tk})
+			pts = append(pts, ChannelPoint{
+				Chips: chips, Stacks: sp[i].Config.MemStacks,
+				Channels: k, Assign: assign, Result: sp[i].Result,
+			})
+			i++
 		}
-	}
-	rs, idx, err := exp.RunIndexed(sweepWorkers, ps)
-	if err != nil {
-		return nil, fmt.Errorf("wimc: %s K=%d: %w", ps[idx].Cfg.Name, pts[idx].Channels, err)
-	}
-	for i := range pts {
-		pts[i].Result = rs[i]
 	}
 	return pts, nil
 }
@@ -254,47 +279,64 @@ type HybridPoint struct {
 // spatial reuse. Packets default to one receive-buffer reservation per
 // transfer for the channel-sweep reason (see ChannelSweep). All runs fan
 // out across the machine's cores with deterministic, ordered results.
+//
+// Deprecated: HybridSweep is a thin wrapper over Sweep with a "system" ×
+// "K" × "route_select" axis grid (byte-identical to its pre-spec
+// implementation; the equivalence test pins it). New code should build a
+// Spec.
 func HybridSweep(sizes, channelCounts []int, traffic TrafficSpec) ([]HybridPoint, error) {
 	if len(sizes) == 0 || len(channelCounts) == 0 {
 		return nil, fmt.Errorf("wimc: hybrid sweep needs at least one size and one channel count")
 	}
 	t := traffic
 	t.Rate = 1.0
+	sysAxis := Axis{Name: "system"}
+	for _, chips := range sizes {
+		cfg, err := XCYM(chips, DefaultStacks(chips), ArchHybrid)
+		if err != nil {
+			return nil, fmt.Errorf("wimc: hybrid sweep: %w", err)
+		}
+		cfg.Channel = ChannelExclusive
+		cfg.MACPolicyMode = PolicySkipEmpty
+		var trafficPatch any
+		if t.PacketFlits == 0 {
+			// One rx reservation per packet (see ChannelSweep).
+			trafficPatch = map[string]any{"packet_flits": cfg.BufferDepth}
+		}
+		sysAxis.Points = append(sysAxis.Points, spec.PatchPoint(cfg.Name, cfg, trafficPatch))
+	}
+	kAxis := Axis{Name: "K"}
+	for _, k := range channelCounts {
+		assign := AssignSpatialReuse
+		if k == 1 {
+			assign = AssignSingle
+		}
+		kAxis.Points = append(kAxis.Points,
+			spec.ConfigPoint(fmt.Sprintf("K=%d", k),
+				map[string]any{"wireless_channels": k, "channel_assignment": assign}))
+	}
+	selAxis := Axis{Name: "route_select"}
+	for _, sel := range []RouteSelect{SelectStatic, SelectAdaptive} {
+		selAxis.Points = append(selAxis.Points,
+			spec.ConfigPoint(string(sel), map[string]any{"route_select": sel}))
+	}
+	sp, err := Sweep(&Spec{Name: "hybridsweep", Config: Default(), Traffic: t,
+		Axes: []Axis{sysAxis, kAxis, selAxis}})
+	if err != nil {
+		return nil, err
+	}
 	var pts []HybridPoint
-	var ps []engine.Params
+	i := 0
 	for _, chips := range sizes {
 		for _, k := range channelCounts {
 			for _, sel := range []RouteSelect{SelectStatic, SelectAdaptive} {
-				cfg, err := XCYM(chips, DefaultStacks(chips), ArchHybrid)
-				if err != nil {
-					return nil, fmt.Errorf("wimc: hybrid sweep: %w", err)
-				}
-				cfg.Channel = ChannelExclusive
-				cfg.WirelessChannels = k
-				cfg.ChannelAssign = AssignSpatialReuse
-				if k == 1 {
-					cfg.ChannelAssign = AssignSingle
-				}
-				cfg.MACPolicyMode = PolicySkipEmpty
-				cfg.RouteSelectMode = sel
-				if err := cfg.Validate(); err != nil {
-					return nil, fmt.Errorf("wimc: hybrid sweep (%d chips, K=%d, %s): %w", chips, k, sel, err)
-				}
-				tk := t
-				if tk.PacketFlits == 0 {
-					tk.PacketFlits = cfg.BufferDepth // one rx reservation per packet
-				}
-				pts = append(pts, HybridPoint{Chips: chips, Stacks: cfg.MemStacks, Channels: k, Select: sel})
-				ps = append(ps, engine.Params{Cfg: cfg, Traffic: tk})
+				pts = append(pts, HybridPoint{
+					Chips: chips, Stacks: sp[i].Config.MemStacks,
+					Channels: k, Select: sel, Result: sp[i].Result,
+				})
+				i++
 			}
 		}
-	}
-	rs, idx, err := exp.RunIndexed(sweepWorkers, ps)
-	if err != nil {
-		return nil, fmt.Errorf("wimc: %s K=%d %s: %w", ps[idx].Cfg.Name, pts[idx].Channels, pts[idx].Select, err)
-	}
-	for i := range pts {
-		pts[i].Result = rs[i]
 	}
 	return pts, nil
 }
@@ -320,37 +362,47 @@ type PolicyPoint struct {
 // where skip-empty turn queues, drain-aware announcements and weighted
 // schedules differ. All runs fan out across the machine's cores with
 // deterministic, ordered results.
+//
+// Deprecated: PolicySweep is a thin wrapper over Sweep with a "system" ×
+// "mac_policy" axis grid (byte-identical to its pre-spec implementation;
+// the equivalence test pins it). New code should build a Spec.
 func PolicySweep(sizes []int, k int, policies []MACPolicy, traffic TrafficSpec) ([]PolicyPoint, error) {
 	if len(sizes) == 0 || len(policies) == 0 {
 		return nil, fmt.Errorf("wimc: policy sweep needs at least one size and one policy")
 	}
 	t := traffic
 	t.Rate = 1.0
+	sysAxis := Axis{Name: "system"}
+	for _, chips := range sizes {
+		cfg, err := XCYM(chips, DefaultStacks(chips), ArchWireless)
+		if err != nil {
+			return nil, fmt.Errorf("wimc: policy sweep: %w", err)
+		}
+		cfg.Channel = ChannelExclusive
+		cfg.ChannelAssign = AssignSpatialReuse
+		cfg.WirelessChannels = k
+		sysAxis.Points = append(sysAxis.Points, spec.ConfigPoint(cfg.Name, cfg))
+	}
+	polAxis := Axis{Name: "mac_policy"}
+	for _, pol := range policies {
+		polAxis.Points = append(polAxis.Points,
+			spec.ConfigPoint(string(pol), map[string]any{"mac_policy": pol}))
+	}
+	sp, err := Sweep(&Spec{Name: "policysweep", Config: Default(), Traffic: t,
+		Axes: []Axis{sysAxis, polAxis}})
+	if err != nil {
+		return nil, err
+	}
 	var pts []PolicyPoint
-	var ps []engine.Params
+	i := 0
 	for _, chips := range sizes {
 		for _, pol := range policies {
-			cfg, err := XCYM(chips, DefaultStacks(chips), ArchWireless)
-			if err != nil {
-				return nil, fmt.Errorf("wimc: policy sweep: %w", err)
-			}
-			cfg.Channel = ChannelExclusive
-			cfg.ChannelAssign = AssignSpatialReuse
-			cfg.WirelessChannels = k
-			cfg.MACPolicyMode = pol
-			if err := cfg.Validate(); err != nil {
-				return nil, fmt.Errorf("wimc: policy sweep (%d chips, %s): %w", chips, pol, err)
-			}
-			pts = append(pts, PolicyPoint{Chips: chips, Stacks: cfg.MemStacks, Channels: k, Policy: pol})
-			ps = append(ps, engine.Params{Cfg: cfg, Traffic: t})
+			pts = append(pts, PolicyPoint{
+				Chips: chips, Stacks: sp[i].Config.MemStacks,
+				Channels: k, Policy: pol, Result: sp[i].Result,
+			})
+			i++
 		}
-	}
-	rs, idx, err := exp.RunIndexed(sweepWorkers, ps)
-	if err != nil {
-		return nil, fmt.Errorf("wimc: %s policy %s: %w", ps[idx].Cfg.Name, pts[idx].Policy, err)
-	}
-	for i := range pts {
-		pts[i].Result = rs[i]
 	}
 	return pts, nil
 }

@@ -1,0 +1,286 @@
+package wimc
+
+// Equivalence regressions for the spec redesign: each legacy sweep helper
+// is now a thin wrapper over Sweep(spec), and each test here re-runs the
+// pre-redesign implementation — the literal engine.Params construction
+// loop the helper used to contain — and asserts byte-identical Result
+// JSON. This is the FullTick/LegacySingleChannel reference-path tradition
+// applied to the API layer: the old behavior stays checkable forever.
+
+import (
+	"encoding/json"
+	"testing"
+
+	"wimc/internal/engine"
+	"wimc/internal/exp"
+)
+
+// resultJSON marshals results for byte comparison.
+func resultJSON(t *testing.T, rs []*Result) string {
+	t.Helper()
+	b, err := json.Marshal(rs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return string(b)
+}
+
+func runLegacy(t *testing.T, ps []engine.Params) []*Result {
+	t.Helper()
+	rs, _, err := exp.RunIndexed(0, ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rs
+}
+
+func TestLoadSweepEquivalence(t *testing.T) {
+	cfg := MustXCYM(4, 4, ArchWireless)
+	cfg.WarmupCycles = 200
+	cfg.MeasureCycles = 1800
+	traffic := TrafficSpec{Kind: TrafficUniform, MemFraction: 0.2}
+	loads := []float64{0.0005, 0.002}
+
+	// Pre-redesign LoadSweep body.
+	ps := make([]engine.Params, len(loads))
+	for i, l := range loads {
+		tr := traffic
+		tr.Rate = l
+		ps[i] = engine.Params{Cfg: cfg, Traffic: tr}
+	}
+	want := runLegacy(t, ps)
+
+	pts, err := LoadSweep(cfg, traffic, loads)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]*Result, len(pts))
+	for i, p := range pts {
+		if p.Load != loads[i] {
+			t.Fatalf("point %d load = %v, want %v", i, p.Load, loads[i])
+		}
+		got[i] = p.Result
+	}
+	if g, w := resultJSON(t, got), resultJSON(t, want); g != w {
+		t.Fatalf("LoadSweep diverged from pre-spec implementation:\n got %s\nwant %s", g, w)
+	}
+}
+
+func TestScaleSweepEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation runs")
+	}
+	sizes := []int{1}
+	archs := []Architecture{ArchSubstrate, ArchWireless}
+	traffic := TrafficSpec{Kind: TrafficUniform, MemFraction: 0.2}
+
+	// Pre-redesign ScaleSweep body.
+	tr := traffic
+	tr.Rate = 1.0
+	var ps []engine.Params
+	for _, chips := range sizes {
+		for _, arch := range archs {
+			cfg, err := XCYM(chips, DefaultStacks(chips), arch)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ps = append(ps, engine.Params{Cfg: cfg, Traffic: tr})
+		}
+	}
+	want := runLegacy(t, ps)
+
+	pts, err := ScaleSweep(sizes, archs, traffic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]*Result, len(pts))
+	for i, p := range pts {
+		got[i] = p.Result
+	}
+	if g, w := resultJSON(t, got), resultJSON(t, want); g != w {
+		t.Fatalf("ScaleSweep diverged from pre-spec implementation:\n got %s\nwant %s", g, w)
+	}
+}
+
+func TestChannelSweepEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation runs")
+	}
+	sizes := []int{4}
+	ks := []int{1, 2}
+	assign := AssignSpatialReuse
+	traffic := TrafficSpec{Kind: TrafficUniform, MemFraction: 0.2}
+
+	// Pre-redesign ChannelSweep body.
+	tr := traffic
+	tr.Rate = 1.0
+	var ps []engine.Params
+	for _, chips := range sizes {
+		for _, k := range ks {
+			cfg, err := XCYM(chips, DefaultStacks(chips), ArchWireless)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Channel = ChannelExclusive
+			cfg.ChannelAssign = assign
+			cfg.WirelessChannels = k
+			if err := cfg.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			tk := tr
+			if tk.PacketFlits == 0 {
+				tk.PacketFlits = cfg.BufferDepth
+			}
+			ps = append(ps, engine.Params{Cfg: cfg, Traffic: tk})
+		}
+	}
+	want := runLegacy(t, ps)
+
+	pts, err := ChannelSweep(sizes, ks, assign, traffic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]*Result, len(pts))
+	for i, p := range pts {
+		got[i] = p.Result
+	}
+	if g, w := resultJSON(t, got), resultJSON(t, want); g != w {
+		t.Fatalf("ChannelSweep diverged from pre-spec implementation:\n got %s\nwant %s", g, w)
+	}
+}
+
+func TestHybridSweepEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation runs")
+	}
+	sizes := []int{4}
+	ks := []int{1}
+	traffic := TrafficSpec{Kind: TrafficUniform, MemFraction: 0.2}
+
+	// Pre-redesign HybridSweep body.
+	tr := traffic
+	tr.Rate = 1.0
+	var ps []engine.Params
+	for _, chips := range sizes {
+		for _, k := range ks {
+			for _, sel := range []RouteSelect{SelectStatic, SelectAdaptive} {
+				cfg, err := XCYM(chips, DefaultStacks(chips), ArchHybrid)
+				if err != nil {
+					t.Fatal(err)
+				}
+				cfg.Channel = ChannelExclusive
+				cfg.WirelessChannels = k
+				cfg.ChannelAssign = AssignSpatialReuse
+				if k == 1 {
+					cfg.ChannelAssign = AssignSingle
+				}
+				cfg.MACPolicyMode = PolicySkipEmpty
+				cfg.RouteSelectMode = sel
+				if err := cfg.Validate(); err != nil {
+					t.Fatal(err)
+				}
+				tk := tr
+				if tk.PacketFlits == 0 {
+					tk.PacketFlits = cfg.BufferDepth
+				}
+				ps = append(ps, engine.Params{Cfg: cfg, Traffic: tk})
+			}
+		}
+	}
+	want := runLegacy(t, ps)
+
+	pts, err := HybridSweep(sizes, ks, traffic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]*Result, len(pts))
+	for i, p := range pts {
+		got[i] = p.Result
+	}
+	if g, w := resultJSON(t, got), resultJSON(t, want); g != w {
+		t.Fatalf("HybridSweep diverged from pre-spec implementation:\n got %s\nwant %s", g, w)
+	}
+}
+
+func TestPolicySweepEquivalence(t *testing.T) {
+	if testing.Short() {
+		t.Skip("saturation runs")
+	}
+	sizes := []int{4}
+	k := 2
+	policies := []MACPolicy{PolicyRotate, PolicySkipEmpty}
+	traffic := TrafficSpec{Kind: TrafficUniform, MemFraction: 0.2}
+
+	// Pre-redesign PolicySweep body.
+	tr := traffic
+	tr.Rate = 1.0
+	var ps []engine.Params
+	for _, chips := range sizes {
+		for _, pol := range policies {
+			cfg, err := XCYM(chips, DefaultStacks(chips), ArchWireless)
+			if err != nil {
+				t.Fatal(err)
+			}
+			cfg.Channel = ChannelExclusive
+			cfg.ChannelAssign = AssignSpatialReuse
+			cfg.WirelessChannels = k
+			cfg.MACPolicyMode = pol
+			if err := cfg.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			ps = append(ps, engine.Params{Cfg: cfg, Traffic: tr})
+		}
+	}
+	want := runLegacy(t, ps)
+
+	pts, err := PolicySweep(sizes, k, policies, traffic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([]*Result, len(pts))
+	for i, p := range pts {
+		got[i] = p.Result
+	}
+	if g, w := resultJSON(t, got), resultJSON(t, want); g != w {
+		t.Fatalf("PolicySweep diverged from pre-spec implementation:\n got %s\nwant %s", g, w)
+	}
+}
+
+// TestSweepPerSpecWorkers pins the satellite redesign: Workers is carried
+// per spec, so two specs with different parallelism produce identical
+// results without touching process-global state.
+func TestSweepPerSpecWorkers(t *testing.T) {
+	cfg := MustXCYM(4, 4, ArchWireless)
+	cfg.WarmupCycles = 200
+	cfg.MeasureCycles = 1800
+	traffic := TrafficSpec{Kind: TrafficUniform, Rate: 0.002, MemFraction: 0.2}
+	mk := func(workers int) *Spec {
+		s := NewSpec("workers-test", cfg, traffic)
+		s.Axes = []Axis{{Name: "seed", Points: []AxisPoint{
+			ConfigAxisPoint("seed=1", map[string]any{"seed": 1}),
+			ConfigAxisPoint("seed=2", map[string]any{"seed": 2}),
+			ConfigAxisPoint("seed=3", map[string]any{"seed": 3}),
+		}}}
+		s.Workers = workers
+		return s
+	}
+	seq, err := Sweep(mk(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Sweep(mk(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	gs := make([]*Result, len(seq))
+	gp := make([]*Result, len(par))
+	for i := range seq {
+		gs[i], gp[i] = seq[i].Result, par[i].Result
+		if seq[i].Key != par[i].Key {
+			t.Fatalf("point %d key differs across worker counts", i)
+		}
+	}
+	if a, b := resultJSON(t, gs), resultJSON(t, gp); a != b {
+		t.Fatalf("results differ across per-spec worker counts:\n%s\n%s", a, b)
+	}
+}
