@@ -12,6 +12,7 @@
 //	          [-channel-assign spatial-reuse|static-partition] [-mac-policies rotate,skip-empty,...]
 //	          [-check BASELINE.json] [-check-out OUT.json] [-check-threshold 15]
 //	          [-spec FILE.json] [-store DIR]
+//	          [-cpuprofile cpu.pprof] [-memprofile mem.pprof]
 //
 // -spec runs a canonical experiment spec (see internal/spec and
 // examples/specs) instead of a named figure; -store serves and fills a
@@ -25,6 +26,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"time"
@@ -65,7 +68,13 @@ func runSpec(file string, opts figures.Opts, csvDir string) int {
 	return 0
 }
 
+// main defers to run so the profiling defers flush on every exit path
+// (os.Exit would skip them).
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	var (
 		fig            = flag.String("fig", "all", "experiment to run (all, fig2..fig6, mac, channel, routing, sleep, density, hybrid, readrt, scale, channels, policies, hybridsweep, faults)")
 		quick          = flag.Bool("quick", false, "shortened simulation windows")
@@ -83,34 +92,64 @@ func main() {
 		shards         = flag.Int("shards", 0, "worker shards per simulation tick (0 = serial engine; results are byte-identical at any shard count)")
 		specFile       = flag.String("spec", "", "run a canonical experiment spec file instead of a named figure")
 		storeDir       = flag.String("store", "", "content-addressed result cache directory (cached points are served, fresh ones stored)")
+		everyCycle     = flag.Bool("every-cycle", false, "disable the engine's event-horizon fast-forward (benchmark reference; tables are byte-identical either way)")
+		cpuProfile     = flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file (go tool pprof)")
+		memProfile     = flag.String("memprofile", "", "write an allocation profile at exit to this file (go tool pprof)")
 	)
 	flag.Parse()
 
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "wimcbench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "wimcbench: -cpuprofile: %v\n", err)
+			return 2
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "wimcbench: -memprofile: %v\n", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle live heap before the snapshot
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintf(os.Stderr, "wimcbench: -memprofile: %v\n", err)
+			}
+		}()
+	}
+
 	if *checkBaseline != "" {
-		os.Exit(runCheck(*checkBaseline, *checkOut, *checkThreshold))
+		return runCheck(*checkBaseline, *checkOut, *checkThreshold)
 	}
 
 	sizes, err := parseSizes(*scaleSizes)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wimcbench: -scale-sizes: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 	ks, err := parseSizes(*channelKs)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wimcbench: -channel-ks: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 	policies, err := parsePolicies(*macPolicies)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "wimcbench: -mac-policies: %v\n", err)
-		os.Exit(2)
+		return 2
 	}
 	switch config.ChannelAssignment(*channelAssign) {
 	case "", config.AssignSpatialReuse, config.AssignStaticPartition:
 	default:
 		fmt.Fprintf(os.Stderr, "wimcbench: -channel-assign: unknown assignment %q (want %s or %s)\n",
 			*channelAssign, config.AssignSpatialReuse, config.AssignStaticPartition)
-		os.Exit(2)
+		return 2
 	}
 
 	ids := figures.Experiments()
@@ -123,6 +162,7 @@ func main() {
 		ChannelAssign: config.ChannelAssignment(*channelAssign),
 		Policies:      policies,
 		Shards:        *shards,
+		EveryCycle:    *everyCycle,
 	}
 	if !*parallel {
 		opts.Workers = 1
@@ -131,12 +171,12 @@ func main() {
 		st, err := store.Open(*storeDir)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wimcbench: -store: %v\n", err)
-			os.Exit(2)
+			return 2
 		}
 		opts.Store = st
 	}
 	if *specFile != "" {
-		os.Exit(runSpec(*specFile, opts, *csv))
+		return runSpec(*specFile, opts, *csv)
 	}
 	total := time.Duration(0)
 	for _, id := range ids {
@@ -144,7 +184,7 @@ func main() {
 		t, err := figures.Run(id, opts)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "wimcbench: %s: %v\n", id, err)
-			os.Exit(1)
+			return 1
 		}
 		elapsed := time.Since(start)
 		total += elapsed
@@ -153,13 +193,14 @@ func main() {
 		if *csv != "" {
 			if err := writeCSV(*csv, t); err != nil {
 				fmt.Fprintf(os.Stderr, "wimcbench: %s: %v\n", id, err)
-				os.Exit(1)
+				return 1
 			}
 		}
 	}
 	if len(ids) > 1 {
 		fmt.Fprintf(os.Stderr, "wimcbench: total    %8.3fs\n", total.Seconds())
 	}
+	return 0
 }
 
 func parsePolicies(s string) ([]config.MACPolicy, error) {

@@ -7,7 +7,11 @@
 //
 // Usage:
 //
-//	wimcd -addr :8585 -store .wimcd
+//	wimcd -addr :8585 -store .wimcd [-debug-addr 127.0.0.1:8586]
+//
+// -debug-addr (off by default) serves net/http/pprof on a separate
+// listener, so a long sweep can be CPU- or heap-profiled in flight
+// without exposing the profiler on the API address.
 //
 // See internal/daemon for the API surface and wimcctl for the client.
 package main
@@ -17,6 +21,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on http.DefaultServeMux
 	"os"
 
 	"wimc/internal/daemon"
@@ -30,6 +35,7 @@ func main() {
 	addr := flag.String("addr", "127.0.0.1:8585", "listen address")
 	storeDir := flag.String("store", ".wimcd", "content-addressed result store directory")
 	workers := flag.Int("workers", 0, "default worker pool size per experiment (0 = one per core; a spec's workers field overrides)")
+	debugAddr := flag.String("debug-addr", "", "serve net/http/pprof on this extra address (empty = disabled)")
 	flag.Usage = func() {
 		fmt.Fprintf(os.Stderr, "usage: wimcd [flags]\n\nThe wimc experiment service (engine %s).\n\n", engine.Version)
 		flag.PrintDefaults()
@@ -47,6 +53,15 @@ func main() {
 	n, err := st.Len()
 	if err != nil {
 		log.Fatal(err)
+	}
+	if *debugAddr != "" {
+		// The pprof handlers live on http.DefaultServeMux (blank import
+		// above); the API server below uses its own handler, so the
+		// profiler is reachable only through this listener.
+		go func() {
+			log.Printf("pprof on http://%s/debug/pprof/", *debugAddr)
+			log.Fatal(http.ListenAndServe(*debugAddr, nil))
+		}()
 	}
 	log.Printf("engine %s, store %s (%d cached results), listening on %s",
 		engine.Version, st.Dir(), n, *addr)

@@ -6,8 +6,8 @@
 //	wimcsim [-chips 4] [-stacks 0] [-arch wireless|interposer|substrate|hybrid]
 //	        [-traffic uniform|hotspot|transpose|bit-complement|app]
 //	        [-rate 0.002] [-mem 0.2] [-app canneal]
-//	        [-cycles 10000] [-seed 1] [-shards 4] [-config file.json] [-json]
-//	        [-trace packets.jsonl]
+//	        [-cycles 10000] [-drain 100000] [-seed 1] [-shards 4] [-config file.json] [-json]
+//	        [-trace packets.jsonl] [-every-cycle]
 //
 // Any chip count is accepted: 1/4/8 use the paper's geometries, other
 // counts the generalized large-system presets (-stacks 0 scales stacks
@@ -35,11 +35,13 @@ func main() {
 		hotspot = flag.Float64("hotspot", 0.2, "hotspot traffic fraction (hotspot kind)")
 		app     = flag.String("app", "canneal", "application name (app kind)")
 		cycles  = flag.Int64("cycles", 0, "override measurement cycles (0 = config default)")
+		drain   = flag.Int64("drain", -1, "override drain cycles (-1 = config default); with fast-forward the run exits the window early once the network drains")
 		seed    = flag.Uint64("seed", 0, "override RNG seed (0 = config default)")
 		shards  = flag.Int("shards", 0, "worker shards per simulation tick (0 = serial engine; results are byte-identical at any shard count)")
 		cfgFile = flag.String("config", "", "JSON configuration file (overrides -chips/-arch)")
 		asJSON  = flag.Bool("json", false, "emit the full result as JSON")
 		traceTo = flag.String("trace", "", "write a packet-level JSONL delivery trace to this file")
+		everyCy = flag.Bool("every-cycle", false, "disable the event-horizon fast-forward and step every cycle (results are byte-identical either way)")
 	)
 	flag.Parse()
 
@@ -49,6 +51,9 @@ func main() {
 	}
 	if *cycles > 0 {
 		cfg.MeasureCycles = *cycles
+	}
+	if *drain >= 0 {
+		cfg.DrainCycles = *drain
 	}
 	if *seed != 0 {
 		cfg.Seed = *seed
@@ -64,6 +69,7 @@ func main() {
 		HotspotFraction: *hotspot,
 		App:             *app,
 	}
+	opts := wimc.Options{EveryCycle: *everyCy}
 	var res *wimc.Result
 	if *traceTo != "" {
 		f, err := os.Create(*traceTo)
@@ -71,7 +77,8 @@ func main() {
 			fatal(err)
 		}
 		defer f.Close()
-		sys, err := wimc.NewTraced(cfg, spec, f)
+		opts.Trace = f
+		sys, err := wimc.NewWithOptions(cfg, spec, opts)
 		if err != nil {
 			fatal(err)
 		}
@@ -82,8 +89,11 @@ func main() {
 			fatal(err)
 		}
 	} else {
-		var err error
-		if res, err = wimc.Run(cfg, spec); err != nil {
+		sys, err := wimc.NewWithOptions(cfg, spec, opts)
+		if err != nil {
+			fatal(err)
+		}
+		if res, err = sys.Run(); err != nil {
 			fatal(err)
 		}
 	}

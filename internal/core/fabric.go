@@ -468,6 +468,84 @@ func (fb *Fabric) LaunchNeeded() bool {
 	return fb.txTotal > 0
 }
 
+// NextLaunchCycle returns a conservative lower bound on the next cycle
+// (strictly after now) at which Launch could transmit, advance a turn,
+// spend energy, or otherwise mutate MAC state — the fabric's contribution
+// to the engine's event horizon. Every cycle in (now, NextLaunchCycle(now))
+// is provably CatchUp-equivalent: either LaunchNeeded would be false, or
+// Launch would only perform the idle accounting CatchUp reproduces (all
+// sub-channels frozen by an outage or idle with empty turn queues), so
+// skipping those cycles and settling with CatchUp on wake is byte-identical
+// to launching every one of them. Returns sim.Never when, absent new TX
+// flits, the fabric will never act again.
+func (fb *Fabric) NextLaunchCycle(now sim.Cycle) sim.Cycle {
+	if len(fb.wis) < 2 {
+		return sim.Never
+	}
+	if fb.cfg.Channel != config.ChannelExclusive {
+		// Crossbar: an idle cycle (txTotal == 0) is exactly CatchUp — the
+		// rrDst rotation plus sleep/awake counting.
+		if fb.txTotal > 0 {
+			return now + 1
+		}
+		return sim.Never
+	}
+	if fb.legacy != nil || fb.subs == nil || !fb.turnQueue {
+		// The legacy and plain-rotation MACs run their turn machinery (and
+		// spend control-packet energy) every cycle; never skip them.
+		return now + 1
+	}
+	if fb.txTotal == 0 && fb.busySubs == 0 {
+		return sim.Never // LaunchNeeded false: idle cycles settle via CatchUp
+	}
+	h := sim.Never
+	for _, sub := range fb.subs {
+		if len(sub.members) == 0 {
+			continue
+		}
+		if sub.phase == phaseIdle && sub.qHead < 0 {
+			continue // launchSub provably returns without mutating
+		}
+		c := now + 1
+		if fs := fb.faults; fs != nil && fs.outUntil[sub.idx] > c {
+			// Scheduled outage: launchSub returns before touching any state
+			// until the window ends, so the freeze itself is skippable.
+			c = fs.outUntil[sub.idx]
+		}
+		if c < h {
+			h = c
+		}
+	}
+	if h == sim.Never {
+		// txTotal/busySubs said work exists but no sub looked actionable;
+		// distrust the redundancy and stay conservative.
+		return now + 1
+	}
+	return h
+}
+
+// NextDeliveryCycle returns the arrival cycle of the earliest wireless
+// flit in flight, or sim.Never when none is pending. Deliveries are FIFO
+// with nondecreasing arrival times, so this is Deliver's contribution to
+// the engine's event horizon.
+func (fb *Fabric) NextDeliveryCycle() sim.Cycle {
+	if fb.pending.Empty() {
+		return sim.Never
+	}
+	return fb.pending.Peek().at
+}
+
+// NextFaultCycle returns the cycle of the next unfired scheduled fault
+// event, or sim.Never when the schedule is exhausted or the fault model
+// inactive.
+func (fb *Fabric) NextFaultCycle() sim.Cycle {
+	fs := fb.faults
+	if fs == nil || fs.nextEv >= len(fs.events) {
+		return sim.Never
+	}
+	return fs.events[fs.nextEv].Cycle
+}
+
 // CatchUp applies the per-cycle side effects of every skipped idle Launch
 // through cycle `through`: the crossbar destination rotation and the
 // sleep/awake accounting (on an idle cycle each WI is awake exactly when

@@ -9,10 +9,18 @@ import (
 	"wimc/internal/config"
 )
 
-// resultJSON canonicalizes a Result for byte comparison.
+// resultJSON canonicalizes a Result for byte comparison. The fast-forward
+// telemetry counters are zeroed first: they describe how the run executed
+// (how many provably idle cycles were skipped), not what it simulated, and
+// are the only Result fields allowed to differ between a fast-forwarded
+// run and its every-cycle reference.
 func resultJSON(t *testing.T, r *Result) string {
 	t.Helper()
-	b, err := json.Marshal(r)
+	c := *r
+	c.IdleCyclesSkipped = 0
+	c.DrainCyclesUsed = 0
+	c.DrainCyclesConfigured = 0
+	b, err := json.Marshal(&c)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -164,6 +172,40 @@ func determinismParams() []Params {
 		{Cycle: 150, Kind: config.FaultWIFail, WI: 2},
 	}
 
+	// Skip-heavy configurations for the event-horizon fast-forward: a
+	// phased application profile whose long provably-silent compute/wait
+	// phases dominate the run, and a turn-queue exclusive fabric whose
+	// sub-channels spend most of the drain window frozen inside an outage.
+	// Both ride the full matrix (same-seed, full-tick, shard-count) and
+	// TestFastForwardByteIdentical additionally asserts they actually skip.
+	phased := config.MustXCYM(4, 4, config.ArchWireless)
+	phased.Name = "phased"
+	phased.WarmupCycles = 200
+	phased.MeasureCycles = 9000
+	phased.DrainCycles = 2000
+
+	longOutage := config.MustXCYM(4, 4, config.ArchWireless)
+	longOutage.Name = "long-outage"
+	longOutage.WarmupCycles = 100
+	longOutage.MeasureCycles = 2000
+	longOutage.DrainCycles = 3000
+	longOutage.Channel = config.ChannelExclusive
+	longOutage.ChannelAssign = config.AssignStaticPartition
+	longOutage.WirelessChannels = 2
+	// The rotate policy burns control energy every turn and therefore can
+	// never fast-forward; the turn-queue policies go idle when nothing is
+	// queued, which is what lets the frozen outage window skip.
+	longOutage.MACPolicyMode = config.PolicySkipEmpty
+	// Deep TX buffers park the whole outage backlog inside the WIs: with
+	// the stock 16-flit buffers the backlog wormholes back into the mesh
+	// and the blocked switches spin in the active sets (correct, but then
+	// nothing can be skipped — retried arbitration is real work).
+	longOutage.TXBufferFlits = 4096
+	longOutage.FaultSchedule = []config.FaultEvent{
+		{Cycle: 1900, Kind: config.FaultOutage, SubChannel: 0, Duration: 2000},
+		{Cycle: 1900, Kind: config.FaultOutage, SubChannel: 1, Duration: 2000},
+	}
+
 	wired := config.MustXCYM(4, 4, config.ArchInterposer)
 	wired.WarmupCycles = 200
 	wired.MeasureCycles = 1500
@@ -192,6 +234,8 @@ func determinismParams() []Params {
 		{Cfg: outage, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.0005, MemFraction: 0.2}},
 		{Cfg: wifail, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 1.0, MemFraction: 0.2, PacketFlits: 16}},
 		{Cfg: wired, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.002, MemFraction: 0.2}},
+		{Cfg: phased, Traffic: TrafficSpec{Kind: TrafficApp, App: "collective"}},
+		{Cfg: longOutage, Traffic: TrafficSpec{Kind: TrafficUniform, Rate: 0.0005, MemFraction: 0.2}},
 	}
 }
 
@@ -281,6 +325,67 @@ func TestShardCountByteIdentical(t *testing.T) {
 				if tr != serialTrace {
 					t.Fatalf("shards=%d packet trace diverged from serial (serial %d bytes, sharded %d bytes)",
 						shards, len(serialTrace), len(tr))
+				}
+			}
+		})
+	}
+}
+
+// TestFastForwardByteIdentical is the determinism regression for the
+// event-horizon fast-forward: every configuration in the matrix, at every
+// shard count (serial, 1, 2 and 4 shards), must produce byte-identical
+// Result JSON AND a byte-identical packet trace with fast-forward enabled
+// (the default) and disabled (Params.EveryCycle). The telemetry fields are
+// the only sanctioned difference and resultJSON zeroes them. The two
+// skip-heavy matrix entries — the phased "collective" application profile
+// and the long outage window — must additionally report a nonzero
+// idle_cycles_skipped, proving the horizon actually engages rather than
+// passing vacuously.
+func TestFastForwardByteIdentical(t *testing.T) {
+	for _, p := range determinismParams() {
+		p := p
+		t.Run(p.Cfg.Name+"/"+string(p.Cfg.Channel), func(t *testing.T) {
+			for _, shards := range []int{0, 1, 2, 4} {
+				runWith := func(everyCycle bool) (*Result, string, string) {
+					sp := p
+					sp.Cfg.EngineShards = shards
+					sp.EveryCycle = everyCycle
+					var trace bytes.Buffer
+					sp.Trace = &trace
+					e, err := New(sp)
+					if err != nil {
+						t.Fatal(err)
+					}
+					r, err := e.Run()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := e.CheckFlitConservation(); err != nil {
+						t.Fatalf("shards=%d everyCycle=%v: %v", shards, everyCycle, err)
+					}
+					if err := e.CheckPipelineInvariants(); err != nil {
+						t.Fatalf("shards=%d everyCycle=%v: %v", shards, everyCycle, err)
+					}
+					return r, resultJSON(t, r), trace.String()
+				}
+				ff, ffRes, ffTrace := runWith(false)
+				ec, ecRes, ecTrace := runWith(true)
+				if ec.IdleCyclesSkipped != 0 {
+					t.Fatalf("shards=%d: every-cycle run reported %d skipped cycles", shards, ec.IdleCyclesSkipped)
+				}
+				if ffRes != ecRes {
+					t.Fatalf("shards=%d: fast-forward diverged from every-cycle:\nfast-forward: %s\nevery-cycle:  %s",
+						shards, ffRes, ecRes)
+				}
+				if ffTrace != ecTrace {
+					t.Fatalf("shards=%d: packet trace diverged (fast-forward %d bytes, every-cycle %d bytes)",
+						shards, len(ffTrace), len(ecTrace))
+				}
+				switch p.Cfg.Name {
+				case "phased", "long-outage":
+					if ff.IdleCyclesSkipped == 0 {
+						t.Fatalf("shards=%d: skip-heavy config skipped no cycles", shards)
+					}
 				}
 			}
 		})

@@ -47,4 +47,46 @@
 // serial, and EngineShards is clamped to the row count. Shards compose
 // with run-level parallelism (internal/exp's worker pool): shard a single
 // big run, pool many small ones.
+//
+// # Event-horizon fast-forward
+//
+// When the system is quiescent — every active set empty (all shards, plus
+// quiet boundary mailboxes when sharded) — no component can change state
+// until some scheduled future event fires. Run computes that event
+// horizon, a conservative lower bound on the earliest cycle anything can
+// happen, and jumps e.now there, skipping the inert cycles entirely
+// (Result.IdleCyclesSkipped counts them).
+//
+// The horizon is the minimum over every source of future activity, each
+// answering through a small interface so the engine never guesses:
+//
+//   - traffic.Source.NextEventCycle — the next cycle the source might
+//     emit. Memoryless random sources return now+1 (they might fire any
+//     cycle); phased application profiles return the next phase boundary
+//     while in a zero-rate phase. Clamped to the generation window.
+//   - the memory reply heap's earliest readyAt,
+//   - core.Fabric.NextLaunchCycle / NextDeliveryCycle / NextFaultCycle —
+//     the MAC's next possible turn start (rotate burns control energy
+//     every turn and therefore always returns now+1; turn-queue policies
+//     with empty queues return the earliest outage end), in-flight
+//     wireless arrivals, and the fault schedule's next event,
+//   - the liveness watchdog's deadline, so a wedged packet still trips
+//     the age bound at the identical cycle.
+//
+// Correctness does not rest on the horizon being tight — only on it never
+// being too far: every skipped cycle must be one the every-cycle engine
+// would have spent doing pure idle accounting, which CatchUp reproduces
+// in closed form. Any unsure component simply returns now+1 and the
+// engine steps normally. The claim is pinned, not assumed:
+// TestFastForwardByteIdentical runs the whole determinism matrix with
+// fast-forward on and off at shard counts {serial,1,2,4} and requires the
+// same Result JSON and the same packet trace, with the telemetry fields
+// (idle_cycles_skipped, drain_cycles_*) as the only sanctioned delta.
+//
+// The same machinery ends the drain window early: once generation has
+// stopped and the horizon is sim.Never, no packet can ever move again,
+// so Run exits the drain loop immediately (Result.DrainCyclesUsed /
+// DrainCyclesConfigured record the early exit). Params.EveryCycle — the
+// wimcsim/wimcbench -every-cycle flag — disables the fast-forward and is
+// the benchmark reference path (FullTick implies it).
 package engine

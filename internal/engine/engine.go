@@ -54,8 +54,18 @@ type Params struct {
 	// FullTick disables active-set scheduling and ticks every switch, link
 	// and endpoint every cycle — the reference scheduling path. Results are
 	// cycle-identical either way (the determinism regression test asserts
-	// it); FullTick exists to keep that claim checkable forever.
+	// it); FullTick exists to keep that claim checkable forever. FullTick
+	// also implies EveryCycle.
 	FullTick bool
+	// EveryCycle disables the event-horizon fast-forward (Run ticks every
+	// simulated cycle) while keeping active-set scheduling — the reference
+	// path for the fast-forward equivalence regression, in the FullTick
+	// tradition. It exists as its own knob because FullTick forces the
+	// serial engine, while fast-forward identity must also be checkable
+	// under sharded execution. Results are byte-identical either way (after
+	// zeroing the idle_cycles_skipped / drain-exit telemetry, which is the
+	// only thing the skip path adds).
+	EveryCycle bool
 	// LegacySingleChannel swaps the exclusive wireless fabric onto the
 	// retained pre-sub-channel MAC (one shared medium, one global turn
 	// sequence) — the reference path for the K=1 equivalence regression,
@@ -138,6 +148,16 @@ type Engine struct {
 	epActive   *sim.ActiveSet
 	fullTick   bool
 	legacyMAC  bool
+
+	// Event-horizon fast-forward (see Run): everyCycle disables it (the
+	// reference path; fullTick implies it), idleSkipped counts the cycles
+	// Run jumped over, and drainExited / drainUsed record the drain-window
+	// early exit (how many of the configured drain cycles were actually
+	// needed before the system quiesced for good).
+	everyCycle  bool
+	idleSkipped int64
+	drainExited bool
+	drainUsed   int64
 
 	// pool recycles delivered packets back into traffic generation.
 	pool noc.PacketPool
@@ -270,14 +290,15 @@ func New(p Params) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		cfg:       cfg,
-		graph:     g,
-		tables:    tables,
-		meter:     meter,
-		rng:       sim.NewRand(cfg.Seed),
-		trace:     p.Trace,
-		fullTick:  p.FullTick,
-		legacyMAC: p.LegacySingleChannel,
+		cfg:        cfg,
+		graph:      g,
+		tables:     tables,
+		meter:      meter,
+		rng:        sim.NewRand(cfg.Seed),
+		trace:      p.Trace,
+		fullTick:   p.FullTick,
+		everyCycle: p.EveryCycle || p.FullTick,
+		legacyMAC:  p.LegacySingleChannel,
 	}
 	e.coll = stats.NewCollector(cfg.WarmupCycles, cfg.WarmupCycles+cfg.MeasureCycles, cfg.FlitBits)
 	e.genStop = cfg.WarmupCycles + cfg.MeasureCycles

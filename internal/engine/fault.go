@@ -104,6 +104,28 @@ func (wd *watchdog) check(now sim.Cycle) error {
 	return nil
 }
 
+// deadline returns the first future cycle at which check would report a
+// violation if no tracked packet made further progress: the oldest live
+// entry's injection cycle plus the bound, plus one. sim.Never when no live
+// packet is tracked. The fast-forward path caps its event horizon here so
+// a wedged packet trips the watchdog at the identical cycle the
+// every-cycle loop would have reported it.
+func (wd *watchdog) deadline() sim.Cycle {
+	for wd.head < len(wd.q) {
+		e := wd.q[wd.head]
+		if !wd.live[e.id] {
+			wd.head++
+			if wd.head >= 1024 && wd.head*2 >= len(wd.q) {
+				wd.q = append(wd.q[:0], wd.q[wd.head:]...)
+				wd.head = 0
+			}
+			continue
+		}
+		return e.at + wd.bound + 1
+	}
+	return sim.Never
+}
+
 // watchdogBound returns the watchdog's max packet age: the configured
 // fault_max_packet_age, or a default generous enough for legitimate
 // saturation waits (a full MAC rotation over every WI with deep TX

@@ -94,17 +94,62 @@ type Result struct {
 	WIMaxTxDepth    int     `json:"wi_max_tx_depth"`
 	WIAwakeFraction float64 `json:"wi_awake_fraction"`
 	WIStaticPJ      float64 `json:"wi_static_pj"`
+
+	// Event-horizon fast-forward telemetry (omitted when zero so cached
+	// results from non-skipping runs stay byte-stable). IdleCyclesSkipped
+	// counts simulated cycles Run jumped over because the system was
+	// quiescent and no component could act before the horizon.
+	// DrainCyclesUsed / DrainCyclesConfigured record the drain-window early
+	// exit: when the horizon is sim.Never during drain the run ends
+	// immediately, reporting how much of the configured window was actually
+	// needed. All accounting (static energy, sleep/awake cycles, Cycles,
+	// link utilization) is settled exactly as the every-cycle path would,
+	// so these fields are pure telemetry: zeroing them makes a
+	// fast-forwarded Result byte-identical to its every-cycle reference.
+	IdleCyclesSkipped     int64 `json:"idle_cycles_skipped,omitempty"`
+	DrainCyclesUsed       int64 `json:"drain_cycles_used,omitempty"`
+	DrainCyclesConfigured int64 `json:"drain_cycles_configured,omitempty"`
 }
 
 // Run executes the configured warmup + measurement (+ drain) windows and
 // returns the results.
+//
+// Event-horizon fast-forward: after any stepped cycle that leaves the
+// system quiescent (see quiescent), Run computes the earliest future cycle
+// at which any component could act (see horizon) and jumps e.now straight
+// to it. Every skipped cycle is a provable no-op of step — the active sets
+// are empty, the fabric is CatchUp-equivalent, no wireless flit lands, no
+// reply is due, no fault event fires and the traffic source neither draws
+// nor emits — so the replay is byte-identical to ticking each one (the
+// determinism matrix asserts this against the EveryCycle reference at
+// every shard count). A horizon at or beyond the end of the run ends it
+// immediately (the drain-window early exit), with e.now advanced to the
+// configured total so Cycles, link utilization and the CatchUp window are
+// unchanged. The skip lives here rather than in step so harnesses and
+// invariant tests that step manually keep the strict every-cycle contract.
 func (e *Engine) Run() (*Result, error) {
 	defer e.stopShards()
 	total := e.cfg.WarmupCycles + e.cfg.MeasureCycles + e.cfg.DrainCycles
+	ff := !e.everyCycle
 	for ; e.now < total; e.now++ {
 		e.step()
 		if e.wd != nil && e.wd.err != nil {
 			return nil, e.wd.err
+		}
+		if ff && e.now+1 < total && e.quiescent() {
+			if h := e.horizon(); h >= total {
+				if h == sim.Never && e.cfg.DrainCycles > 0 {
+					e.drainExited = true
+					if used := e.now + 1 - e.genStop; used > 0 {
+						e.drainUsed = used
+					}
+				}
+				e.idleSkipped += total - 1 - e.now
+				e.now = total - 1
+			} else if h > e.now+1 {
+				e.idleSkipped += h - 1 - e.now
+				e.now = h - 1
+			}
 		}
 	}
 	if e.fabric != nil {
@@ -222,6 +267,76 @@ func (e *Engine) step() {
 	if now < e.genStop {
 		e.generate(now)
 	}
+}
+
+// quiescent reports whether the network is provably inert: no switch,
+// link or endpoint has work (the active sets are empty) and — when
+// sharded — every boundary link is quiet, including its mailbox parity
+// buffers (boundary links live outside the per-shard active sets). With
+// quiescent true, a step can only act through the horizon sources: fabric
+// launch/delivery, scheduled fault events, due DRAM replies, traffic
+// generation and the watchdog. The probe runs at the serial point after
+// step returns (post-barrier when sharded), so every shard trivially
+// agrees on it — and on the horizon computed from it.
+func (e *Engine) quiescent() bool {
+	if len(e.shards) == 0 {
+		return e.swActive.Empty() && e.linkActive.Empty() && e.epActive.Empty()
+	}
+	for _, s := range e.shards {
+		if !s.swActive.Empty() || !s.linkActive.Empty() || !s.epActive.Empty() {
+			return false
+		}
+		// Each boundary link belongs to exactly one shard's outBound.
+		for _, l := range s.outBound {
+			if !l.Quiet() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// horizon returns the event horizon: a conservative lower bound, strictly
+// after e.now, on the next cycle at which any component could act or
+// mutate state (RNG draws included). Meaningful only when quiescent()
+// holds. sim.Never means no future event exists at all — the run can end.
+func (e *Engine) horizon() sim.Cycle {
+	now := e.now
+	h := sim.Never
+	if now+1 < e.genStop {
+		// The traffic source's next event matters only while generation
+		// still runs; a source boundary at or beyond genStop is never
+		// polled.
+		if c := e.source.NextEventCycle(now); c < e.genStop && c < h {
+			h = c
+		}
+	}
+	if len(e.replies) > 0 && e.replies[0].readyAt < h {
+		h = e.replies[0].readyAt
+	}
+	if e.fabric != nil {
+		if c := e.fabric.NextLaunchCycle(now); c < h {
+			h = c
+		}
+		if c := e.fabric.NextDeliveryCycle(); c < h {
+			h = c
+		}
+		if c := e.fabric.NextFaultCycle(); c < h {
+			h = c
+		}
+	}
+	if e.wd != nil {
+		// Cap the jump at the watchdog deadline so a wedged packet trips
+		// the liveness check on the identical cycle the every-cycle loop
+		// would have (step checks the watchdog first thing on resume).
+		if c := e.wd.deadline(); c < h {
+			h = c
+		}
+	}
+	if h <= now {
+		h = now + 1 // defensive: never move backwards
+	}
+	return h
 }
 
 // issueReplies offers due DRAM read replies to their channel NIs, retrying
@@ -367,6 +482,12 @@ func (e *Engine) results() (*Result, error) {
 
 		WIAwakeFraction: awakeFrac,
 		WIStaticPJ:      wiStatic,
+
+		IdleCyclesSkipped: e.idleSkipped,
+		DrainCyclesUsed:   e.drainUsed,
+	}
+	if e.drainExited {
+		r.DrainCyclesConfigured = e.cfg.DrainCycles
 	}
 	if e.fabric != nil {
 		r.ControlPackets = e.fabric.ControlPackets

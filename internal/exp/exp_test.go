@@ -142,6 +142,57 @@ func TestRunEmptyBatch(t *testing.T) {
 // byte-identical to the serial one. Short-mode friendly so the CI race
 // job drives the sharded engine's barrier, mailboxes and deferred-replay
 // logs under the race detector.
+// TestFastForwardRunsUnderPool nests the event-horizon fast-forward inside
+// the runner's inter-run parallelism: a skip-heavy phased application
+// workload runs serial and sharded, with fast-forward on and off,
+// concurrently through the pool. Every fast-forwarded run must skip a
+// nonzero number of idle cycles and — telemetry aside — stay byte-identical
+// to its every-cycle twin. Short-mode friendly so the CI race job drives
+// the sharded skip decision and resume path under the race detector.
+func TestFastForwardRunsUnderPool(t *testing.T) {
+	base := config.MustXCYM(4, 4, config.ArchWireless)
+	base.WarmupCycles = 100
+	base.MeasureCycles = 4000
+	base.DrainCycles = 500
+	shardCounts := []int{0, 1, 2, 4}
+	var ps []engine.Params
+	for _, n := range shardCounts {
+		cfg := base
+		cfg.EngineShards = n
+		for _, everyCycle := range []bool{false, true} {
+			ps = append(ps, engine.Params{
+				Cfg:        cfg,
+				Traffic:    engine.TrafficSpec{Kind: engine.TrafficApp, App: "collective"},
+				EveryCycle: everyCycle,
+			})
+		}
+	}
+	rs, err := Run(len(ps), ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	canon := func(r *engine.Result) string {
+		c := *r
+		c.IdleCyclesSkipped = 0
+		c.DrainCyclesUsed = 0
+		c.DrainCyclesConfigured = 0
+		b, _ := json.Marshal(&c)
+		return string(b)
+	}
+	for i, n := range shardCounts {
+		ff, ec := rs[2*i], rs[2*i+1]
+		if ff.IdleCyclesSkipped == 0 {
+			t.Errorf("shards=%d: fast-forward run under the pool skipped no cycles", n)
+		}
+		if ec.IdleCyclesSkipped != 0 {
+			t.Errorf("shards=%d: every-cycle run reported %d skipped cycles", n, ec.IdleCyclesSkipped)
+		}
+		if a, b := canon(ff), canon(ec); a != b {
+			t.Errorf("shards=%d: fast-forward diverged from every-cycle under the pool:\n%s\n%s", n, a, b)
+		}
+	}
+}
+
 func TestShardedRunsUnderPool(t *testing.T) {
 	base := config.MustXCYM(4, 4, config.ArchHybrid)
 	base.WarmupCycles = 100

@@ -107,6 +107,12 @@ type Opts struct {
 	// Cached and uncached tables are byte-identical (the cache stores the
 	// exact Result and its key covers every Result-determining input).
 	Store *store.Store
+	// EveryCycle disables the engine's event-horizon fast-forward for
+	// every run of the figure (the benchmark reference; tables are
+	// byte-identical either way). It bypasses Store: the cache key does
+	// not cover the execution mode, and the mode's only observable
+	// difference is the idle_cycles_skipped telemetry.
+	EveryCycle bool
 }
 
 func (o Opts) apply(cfg *config.Config) {
@@ -150,7 +156,11 @@ func xcym(chips int, arch config.Architecture, o Opts) config.Config {
 // With Opts.Store set the batch goes through the result cache instead;
 // either way the output is byte-identical.
 func runBatch(o Opts, ps []engine.Params) ([]*engine.Result, error) {
-	if o.Store != nil {
+	if o.EveryCycle {
+		for i := range ps {
+			ps[i].EveryCycle = true
+		}
+	} else if o.Store != nil {
 		rs, _, err := store.RunParams(o.Store, o.Workers, ps, nil)
 		return rs, err
 	}

@@ -85,6 +85,24 @@ func (l *Link) DrainCreditInbox(now sim.Cycle) {
 	*buf = (*buf)[:0]
 }
 
+// Quiet reports whether the link is completely inert: nothing on the wire
+// in either direction and — in mailbox mode — nothing parked in any of the
+// four parity buffers (flits and credits both). The sharded engine's
+// quiescence probe uses it for boundary links, which live outside the
+// per-shard active sets; a quiet mailbox is also safe to skip across
+// because the buffers are indexed by absolute cycle parity and an empty
+// buffer drains identically at any parity.
+func (l *Link) Quiet() bool {
+	if l.Busy() {
+		return false
+	}
+	if mb := l.mailbox; mb != nil {
+		return len(mb.flits[0]) == 0 && len(mb.flits[1]) == 0 &&
+			len(mb.credits[0]) == 0 && len(mb.credits[1]) == 0
+	}
+	return true
+}
+
 // MailboxFlits counts flits parked in the mailbox (either parity), for
 // flit-conservation accounting: a parked flit is neither on the wire nor
 // in a switch buffer.

@@ -26,6 +26,12 @@ const NoEndpoint EndpointID = -1
 // Cycle is a simulation time stamp measured in core clock cycles.
 type Cycle = int64
 
+// Never is the event-horizon sentinel: "this component has no future
+// event scheduled". Horizon contributors return Never when, absent new
+// stimulus, they will not act at any future cycle; min-folding Never with
+// any real cycle leaves the real cycle.
+const Never Cycle = 1<<63 - 1
+
 // Rand is the deterministic random source used throughout a simulation.
 // All randomness in a run derives from a single seed so that identical
 // configurations replay identically.
@@ -200,6 +206,20 @@ func (s *ActiveSet) Contains(i int) bool {
 		return false
 	}
 	return s.words[i>>6]&(1<<(uint(i)&63)) != 0
+}
+
+// Empty reports whether no index is active. It is O(words) with no
+// popcount, so the engine's quiescence probe can run every cycle.
+func (s *ActiveSet) Empty() bool {
+	if s == nil {
+		return true
+	}
+	for _, w := range s.words {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
 }
 
 // Len returns the number of active indices.

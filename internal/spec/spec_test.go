@@ -256,7 +256,7 @@ var goldenSpecs = []struct {
 	{
 		name: "default-single-run",
 		spec: func() *Spec { return baseSpec() },
-		hash: "b246fdc949233a18caab877170efd22e78d4899c262fd60f49f153796e75288e",
+		hash: "a3482aca236ce3a358e2d952ba4e54567eb1aaa352faa1eec073fa2fb5d1e64d",
 	},
 	{
 		name: "channel-grid",
@@ -273,7 +273,7 @@ var goldenSpecs = []struct {
 			}}}
 			return s
 		},
-		hash: "68111206787a2ecfdb0ecd914aecf7aa37df7dca0005da4338afc8e6db7bb338",
+		hash: "b0409d129eb20b1d52e6f28a400c50ccf346d3a960ac69e1130bde8b11147c71",
 	},
 }
 
@@ -312,7 +312,7 @@ func TestGoldenExampleSpecFile(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	const golden = "db263907a847af151a4cbf937ceef086bc0fa5f3d8d52ac7ddc2660f632944c3"
+	const golden = "58b6b95c0686ac4190f3250d98fcf4483d117989786ad1672987a113db94bf83"
 	if h != golden {
 		t.Errorf("hybrid_policy.json hash %s, committed golden %s", h, golden)
 	}

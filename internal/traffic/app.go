@@ -82,6 +82,18 @@ func Apps() map[string]AppProfile {
 		{Name: "water", Suite: "SPLASH-2", BaseRate: 0.0007, MemFraction: 0.25,
 			LocalBias: 0.70, DataFraction: 0.45, CtrlFlits: 8, DataFlits: 64,
 			Phases: threePhases(1800, 800, 140)},
+		// Phased AI-accelerator collective (arXiv:2501.17567 shape): dense
+		// cross-chip bursts separated by long provably-silent compute and
+		// barrier-wait phases (RateScale 0 — no packets AND no RNG draws),
+		// which is the traffic the engine's event-horizon fast-forward
+		// skips over.
+		{Name: "collective", Suite: "AI", BaseRate: 0.004, MemFraction: 0.10,
+			LocalBias: 0.10, DataFraction: 0.90, CtrlFlits: 8, DataFlits: 64,
+			Phases: []PhaseSpec{
+				{Name: "compute", RateScale: 0, MemScale: 0, MeanCycles: 12000},
+				{Name: "exchange", RateScale: 1.0, MemScale: 1.0, MeanCycles: 600},
+				{Name: "wait", RateScale: 0, MemScale: 0, MeanCycles: 1500, Barrier: true},
+			}},
 	}
 	m := make(map[string]AppProfile, len(list))
 	for _, a := range list {
@@ -152,6 +164,12 @@ func (a *App) NextFor(now sim.Cycle, core int) (Gen, bool) {
 	}
 	ph := a.profile.Phases[a.phase]
 	rate := a.profile.BaseRate * ph.RateScale
+	if rate == 0 {
+		// Provably silent phase: no packet and, crucially, no RNG draw —
+		// this is what lets NextEventCycle promise the phase boundary as a
+		// skip horizon without perturbing the random stream.
+		return Gen{}, false
+	}
 	if a.rng.Float64() >= rate {
 		return Gen{}, false
 	}
@@ -203,6 +221,23 @@ func (a *App) NextFor(now sim.Cycle, core int) (Gen, bool) {
 		d++
 	}
 	return Gen{Dst: a.world.Cores[d], Flits: flits}, true
+}
+
+// NextEventCycle implements Source. During a phase with a non-zero
+// effective rate every poll draws from the RNG, so no cycle may be
+// skipped. During a silent phase (effective rate exactly 0) NextFor
+// returns early without touching the RNG, and the phase machine cannot
+// advance before a.nextShift — so the next cycle this source can act is
+// the phase boundary itself.
+func (a *App) NextEventCycle(now sim.Cycle) sim.Cycle {
+	ph := a.profile.Phases[a.phase]
+	if a.profile.BaseRate*ph.RateScale > 0 {
+		return now + 1
+	}
+	if a.nextShift <= now {
+		return now + 1 // boundary due: the very next poll advances the phase
+	}
+	return a.nextShift
 }
 
 var _ Source = (*App)(nil)

@@ -12,7 +12,7 @@ func TestAppProfilesComplete(t *testing.T) {
 	if len(apps) < 10 {
 		t.Fatalf("only %d application profiles", len(apps))
 	}
-	parsec, splash := 0, 0
+	parsec, splash, ai := 0, 0, 0
 	for name, a := range apps {
 		if a.Name != name {
 			t.Errorf("profile %q keyed as %q", a.Name, name)
@@ -22,10 +22,12 @@ func TestAppProfilesComplete(t *testing.T) {
 			parsec++
 		case "SPLASH-2":
 			splash++
+		case "AI":
+			ai++
 		default:
 			t.Errorf("%s: unknown suite %q", name, a.Suite)
 		}
-		if a.BaseRate <= 0 || a.BaseRate > 0.01 {
+		if a.BaseRate <= 0 || a.BaseRate > 0.05 {
 			t.Errorf("%s: base rate %v out of range", name, a.BaseRate)
 		}
 		if a.MemFraction <= 0 || a.MemFraction >= 1 {
@@ -41,8 +43,23 @@ func TestAppProfilesComplete(t *testing.T) {
 			t.Errorf("%s: only %d phases", name, len(a.Phases))
 		}
 	}
-	if parsec < 5 || splash < 4 {
-		t.Fatalf("suite split %d PARSEC / %d SPLASH-2", parsec, splash)
+	if parsec < 5 || splash < 4 || ai < 1 {
+		t.Fatalf("suite split %d PARSEC / %d SPLASH-2 / %d AI", parsec, splash, ai)
+	}
+	// The collective profile exists specifically to exercise the event
+	// horizon: it must carry at least one provably silent phase.
+	coll, ok := apps["collective"]
+	if !ok {
+		t.Fatal("collective profile missing")
+	}
+	silent := 0
+	for _, ph := range coll.Phases {
+		if ph.RateScale == 0 {
+			silent++
+		}
+	}
+	if silent == 0 {
+		t.Fatal("collective profile has no silent phase")
 	}
 }
 

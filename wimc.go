@@ -233,3 +233,31 @@ func NewTraced(cfg Config, traffic TrafficSpec, w io.Writer) (*System, error) {
 	}
 	return &System{eng: eng}, nil
 }
+
+// Options are run options beyond the configuration and workload. The zero
+// value is the default behavior of New.
+type Options struct {
+	// Trace, when non-nil, receives the packet-level delivery trace (one
+	// JSON line per delivered packet), as in NewTraced.
+	Trace io.Writer
+	// EveryCycle disables the engine's event-horizon fast-forward and
+	// steps every cycle of the run. Results are byte-identical either way
+	// (the fast-forward only skips provably inert cycles; see the Result
+	// idle_cycles_skipped field) — the switch exists as the validation
+	// reference and for benchmarking the fast-forward itself.
+	EveryCycle bool
+}
+
+// NewWithOptions is New with explicit run options.
+func NewWithOptions(cfg Config, traffic TrafficSpec, o Options) (*System, error) {
+	eng, err := engine.New(engine.Params{
+		Cfg:        cfg,
+		Traffic:    traffic,
+		Trace:      o.Trace,
+		EveryCycle: o.EveryCycle,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &System{eng: eng}, nil
+}
